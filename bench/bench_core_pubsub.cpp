@@ -1,0 +1,154 @@
+// F6/F7 — microbenchmarks of the publish-subscribe event dissemination
+// semantics of Figures 6 and 7: trigger-to-handler dispatch cost, cost per
+// additional handler on one port (Fig. 7: all compatible handlers run
+// sequentially), fan-out cost per additional subscriber component (Fig. 6:
+// all channels forward), and channel-chain (composite pass-through) depth.
+
+#include <benchmark/benchmark.h>
+
+#include "kompics/kompics.hpp"
+
+using namespace kompics;
+
+namespace {
+
+class Tick : public Event {
+ public:
+  explicit Tick(int n) : n(n) {}
+  int n;
+};
+
+class TickPort : public PortType {
+ public:
+  TickPort() {
+    set_name("TickPort");
+    negative<Tick>();
+    positive<Tick>();
+  }
+};
+
+class Counter : public ComponentDefinition {
+ public:
+  explicit Counter(int handlers) {
+    for (int i = 0; i < handlers; ++i) {
+      subscribe<Tick>(in_, [this](const Tick&) { ++count; });
+    }
+  }
+  Positive<TickPort> in_ = require<TickPort>();
+  long count = 0;
+};
+
+class Emitter : public ComponentDefinition {
+ public:
+  void emit(int n) { trigger(make_event<Tick>(n), out_); }
+  Negative<TickPort> out_ = provide<TickPort>();
+};
+
+class FanMain : public ComponentDefinition {
+ public:
+  FanMain(int subscribers, int handlers_each) {
+    emitter = create<Emitter>();
+    for (int i = 0; i < subscribers; ++i) {
+      sinks.push_back(create<Counter>(handlers_each));
+      connect(emitter.provided<TickPort>(), sinks.back().required<TickPort>());
+    }
+  }
+  Component emitter;
+  std::vector<Component> sinks;
+};
+
+class Relay : public ComponentDefinition {
+ public:
+  Relay() {
+    subscribe<Tick>(in_, [this](const Tick& t) { trigger(make_event<Tick>(t.n), out_); });
+  }
+  Positive<TickPort> in_ = require<TickPort>();
+  Negative<TickPort> out_ = provide<TickPort>();
+};
+
+class ChainMain : public ComponentDefinition {
+ public:
+  explicit ChainMain(int depth) {
+    emitter = create<Emitter>();
+    Component prev;
+    for (int i = 0; i < depth; ++i) {
+      relays.push_back(create<Relay>());
+      if (i == 0) {
+        connect(emitter.provided<TickPort>(), relays.back().required<TickPort>());
+      } else {
+        connect(relays[relays.size() - 2].provided<TickPort>(),
+                relays.back().required<TickPort>());
+      }
+    }
+    sink = create<Counter>(1);
+    connect(relays.back().provided<TickPort>(), sink.required<TickPort>());
+  }
+  Component emitter, sink;
+  std::vector<Component> relays;
+};
+
+// One subscriber, varying handler count (Fig. 7 semantics).
+void BM_DispatchHandlers(benchmark::State& state) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  auto main = rt->bootstrap<FanMain>(1, static_cast<int>(state.range(0)));
+  rt->await_quiescence();
+  auto& emitter = main.definition_as<FanMain>().emitter.definition_as<Emitter>();
+  int n = 0;
+  for (auto _ : state) {
+    emitter.emit(n++);
+    rt->await_quiescence();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DispatchHandlers)->Arg(1)->Arg(2)->Arg(4)->Arg(16);
+
+// Fan-out to N subscriber components via N channels (Fig. 6 semantics).
+void BM_FanOutSubscribers(benchmark::State& state) {
+  auto rt = Runtime::threaded(Config{}, 4, 1);
+  auto main = rt->bootstrap<FanMain>(static_cast<int>(state.range(0)), 1);
+  rt->await_quiescence();
+  auto& emitter = main.definition_as<FanMain>().emitter.definition_as<Emitter>();
+  int n = 0;
+  for (auto _ : state) {
+    emitter.emit(n++);
+    rt->await_quiescence();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FanOutSubscribers)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// Composite pass-through pipeline: per-hop cost through channels.
+void BM_ChannelChain(benchmark::State& state) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  auto main = rt->bootstrap<ChainMain>(static_cast<int>(state.range(0)));
+  rt->await_quiescence();
+  auto& emitter = main.definition_as<ChainMain>().emitter.definition_as<Emitter>();
+  int n = 0;
+  for (auto _ : state) {
+    emitter.emit(n++);
+    rt->await_quiescence();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChannelChain)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+// Raw trigger throughput into one busy component (queueing fast path):
+// emit a burst of B events, then drain once.
+void BM_TriggerBurst(benchmark::State& state) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  auto main = rt->bootstrap<FanMain>(1, 1);
+  rt->await_quiescence();
+  auto& emitter = main.definition_as<FanMain>().emitter.definition_as<Emitter>();
+  const int burst = static_cast<int>(state.range(0));
+  int n = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < burst; ++i) emitter.emit(n++);
+    rt->await_quiescence();
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(BM_TriggerBurst)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

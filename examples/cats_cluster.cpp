@@ -1,0 +1,187 @@
+// cats_cluster — the paper's "local, interactive, stress-test execution"
+// mode (Fig. 12 right, §4.3): the same CATS node code as in simulation, but
+// under the multi-core work-stealing scheduler in real time, with N nodes
+// in one process connected by the LoopbackNetwork, a bootstrap server, a
+// monitoring server, and an HTTP status page you can open in a browser
+// while the run is active.
+//
+// Usage: cats_cluster [nodes=5] [ops=200] [http_port=0 (off)]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <thread>
+
+#include "cats/bootstrap.hpp"
+#include "cats/cats_client.hpp"
+#include "cats/cats_node.hpp"
+#include "cats/monitor.hpp"
+#include "kompics/kompics.hpp"
+#include "net/loopback.hpp"
+#include "timing/thread_timer.hpp"
+#include "web/cats_web.hpp"
+#include "web/http_server.hpp"
+
+using namespace kompics;
+using namespace kompics::cats;
+using net::Address;
+using net::LoopbackHubPtr;
+using net::LoopbackNetwork;
+
+namespace {
+
+CatsParams tuned_params() {
+  CatsParams params;  // wall-clock friendly timings
+  params.stabilization_period_ms = 100;
+  params.shuffle_period_ms = 100;
+  params.fd_ping_period_ms = 100;
+  params.fd_initial_timeout_ms = 500;
+  params.op_timeout_ms = 1000;
+  params.keepalive_period_ms = 300;
+  params.bootstrap_eviction_ms = 1500;
+  params.monitor_period_ms = 300;
+  return params;
+}
+
+/// One CATS machine: loopback network + thread timer + CatsNode + client.
+class Machine : public ComponentDefinition {
+ public:
+  Machine(NodeRef self, LoopbackHubPtr hub, Address boot, Address monitor) {
+    net = create<LoopbackNetwork>();
+    trigger(make_event<LoopbackNetwork::Init>(self.addr, hub, /*codec=*/true,
+                                              /*compress=*/false),
+            net.control());
+    timer = create<timing::ThreadTimer>();
+    node = create<CatsNode>(self, boot, monitor, tuned_params());
+    client = create<CatsClient>();
+    connect(node.required<net::Network>(), net.provided<net::Network>());
+    connect(node.required<timing::Timer>(), timer.provided<timing::Timer>());
+    connect(node.provided<PutGet>(), client.required<PutGet>());
+  }
+  Component net, timer, node, client;
+};
+
+/// Bootstrap + monitoring servers on their own "machine" (paper Fig. 10).
+class Servers : public ComponentDefinition {
+ public:
+  Servers(Address boot_addr, Address mon_addr, LoopbackHubPtr hub) {
+    boot_net = create<LoopbackNetwork>();
+    trigger(make_event<LoopbackNetwork::Init>(boot_addr, hub), boot_net.control());
+    mon_net = create<LoopbackNetwork>();
+    trigger(make_event<LoopbackNetwork::Init>(mon_addr, hub), mon_net.control());
+    timer = create<timing::ThreadTimer>();
+    boot_server = create<BootstrapServer>();
+    trigger(make_event<BootstrapServer::Init>(boot_addr, tuned_params()),
+            boot_server.control());
+    mon_server = create<MonitorServer>();
+    trigger(make_event<MonitorServer::Init>(mon_addr), mon_server.control());
+    connect(boot_server.required<net::Network>(), boot_net.provided<net::Network>());
+    connect(boot_server.required<timing::Timer>(), timer.provided<timing::Timer>());
+    connect(mon_server.required<net::Network>(), mon_net.provided<net::Network>());
+  }
+  Component boot_net, mon_net, timer, boot_server, mon_server;
+};
+
+class ClusterMain : public ComponentDefinition {
+ public:
+  ClusterMain(int n, std::uint16_t http_port) {
+    auto hub = std::make_shared<net::LoopbackHub>();
+    const Address boot_addr = Address::node(1);
+    const Address mon_addr = Address::node(2);
+    servers = create<Servers>(boot_addr, mon_addr, hub);
+    for (int i = 0; i < n; ++i) {
+      const NodeRef self{CatsSimulatorStyleKey(i, n), Address::node(10 + i)};
+      machines.push_back(create<Machine>(self, hub, boot_addr, mon_addr));
+    }
+    if (http_port != 0) {
+      // Web front-end for the first node (paper §4.1): browse its status.
+      auto& m0 = machines[0].definition_as<Machine>();
+      web_app = create<web::CatsWebApp>();
+      web_app.control()->trigger(make_event<web::CatsWebApp::Init>(
+          NodeRef{CatsSimulatorStyleKey(0, n), Address::node(10)}, 500));
+      http = create<web::HttpServer>();
+      http.control()->trigger(
+          make_event<web::HttpServer::Init>(Address::loopback(http_port)));
+      connect(web_app.required<timing::Timer>(),
+              m0.timer.provided<timing::Timer>());
+      auto& node0 = m0.node.definition_as<CatsNode>();
+      for (const Component& c :
+           {node0.fd, node0.cyclon, node0.ring, node0.router, node0.abd}) {
+        connect(c.provided<Status>(), web_app.required<Status>());
+      }
+      connect(web_app.provided<web::Web>(), http.required<web::Web>());
+    }
+  }
+
+  static RingKey CatsSimulatorStyleKey(int i, int n) {
+    return static_cast<RingKey>(i) * (~0ull / static_cast<RingKey>(n));
+  }
+
+  Component servers, web_app, http;
+  std::vector<Component> machines;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 5;
+  const int ops = argc > 2 ? std::atoi(argv[2]) : 200;
+  const auto http_port = static_cast<std::uint16_t>(argc > 3 ? std::atoi(argv[3]) : 0);
+
+  auto runtime = Runtime::threaded();
+  auto main_c = runtime->bootstrap<ClusterMain>(nodes, http_port);
+  auto& cluster = main_c.definition_as<ClusterMain>();
+
+  // Stagger the joins a little, then wait for ring convergence.
+  std::printf("booting %d nodes...\n", nodes);
+  for (int waited = 0; waited < 15000; waited += 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    int ready = 0;
+    for (auto& m : cluster.machines) {
+      ready += m.definition_as<Machine>().node.definition_as<CatsNode>().ready() ? 1 : 0;
+    }
+    if (ready == nodes) break;
+  }
+  int ready = 0;
+  for (auto& m : cluster.machines) {
+    ready += m.definition_as<Machine>().node.definition_as<CatsNode>().ready() ? 1 : 0;
+  }
+  std::printf("ring ready: %d/%d nodes\n", ready, nodes);
+
+  // Closed-loop workload through the first node's client: put then get.
+  auto& client = cluster.machines[0].definition_as<Machine>().client.definition_as<CatsClient>();
+  std::atomic<int> ok{0}, bad{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < ops; ++i) {
+    const RingKey key = hash_to_ring("key-" + std::to_string(i % 32));
+    std::promise<bool> done;
+    auto fut = done.get_future();
+    client.put(key, Value{static_cast<std::uint8_t>(i)}, [&](bool put_ok) {
+      if (!put_ok) {
+        bad.fetch_add(1);
+        done.set_value(false);
+        return;
+      }
+      client.get(key, [&](bool get_ok, bool found, const Value&) {
+        (get_ok && found ? ok : bad).fetch_add(1);
+        done.set_value(true);
+      });
+    });
+    fut.wait();
+  }
+  const auto dt = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::printf("%d put+get round trips: %d ok, %d failed, %.1f us/op pair\n", ops, ok.load(),
+              bad.load(), dt / ops * 1e6);
+
+  // Give monitoring a beat, then print the paper's "global view".
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  auto& mon = cluster.servers.definition_as<Servers>().mon_server.definition_as<MonitorServer>();
+  std::printf("%s", mon.render_text().c_str());
+
+  if (http_port != 0) {
+    std::printf("status page live at http://127.0.0.1:%u/ — ctrl-c to quit\n", http_port);
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+  return bad.load() == 0 ? 0 : 1;
+}

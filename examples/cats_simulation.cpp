@@ -1,0 +1,136 @@
+// cats_simulation — the paper's whole-system simulation architecture
+// (Fig. 12 left, §4.2/§4.4): the complete CATS key-value store executed in
+// deterministic virtual time, driven by the experiment-scenario DSL:
+//
+//   boot:    1000 joins, exponential inter-arrival (mean 2 s), uniform ids
+//   churn:   500 joins randomly interleaved with 500 failures (mean 500 ms)
+//   lookups: 5000 operations, normal(50ms, 10ms) inter-arrival
+//
+// composed exactly like the paper's scenario1 (boot; churn 2 s after boot
+// ends; lookups 3 s after churn starts; terminate 1 s after lookups end).
+// The run is reproducible: pass the same seed, get the same run.
+//
+// Usage: cats_simulation [seed] [scale]
+//   scale divides the event counts so a quick demo finishes in seconds
+//   (default 10 => 100 joins / 50+50 churn / 500 lookups).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cats/cats_simulator.hpp"
+#include "cats/linearizability.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulation.hpp"
+
+using namespace kompics;
+using namespace kompics::cats;
+using namespace kompics::sim;
+
+class SimulationMain : public ComponentDefinition {
+ public:
+  SimulationMain(SimulatorCore* core, SimNetworkHubPtr hub, CatsParams params) {
+    simulator = create<CatsSimulator>(core, hub, params);
+  }
+  Component simulator;
+};
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const std::uint64_t scale = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10;
+
+  Simulation simulation(Config{}, seed);
+  LinkModel model;
+  model.min_latency = 1;
+  model.max_latency = 20;  // emulated WAN jitter
+  auto hub = std::make_shared<SimNetworkHub>(&simulation.core(), seed ^ 0xbeef, model);
+  CatsParams params;
+  params.replication_degree = 3;
+  params.op_timeout_ms = 1500;
+  params.op_max_retries = 4;
+  // Fast failover: suspect dead neighbors quickly so lookups re-route.
+  params.fd_ping_period_ms = 500;
+  params.fd_initial_timeout_ms = 1500;
+  params.fd_timeout_increment_ms = 500;
+  params.stabilization_period_ms = 500;
+
+  auto main_c = simulation.bootstrap<SimulationMain>(&simulation.core(), hub, params);
+  simulation.run_until(1);
+  auto& cats =
+      main_c.definition_as<SimulationMain>().simulator.definition_as<CatsSimulator>();
+
+  // ---- the paper's scenario1, in the C++ DSL -------------------------------
+  Scenario scenario(seed);
+  CatsSimulator* sys = &cats;
+
+  auto boot = scenario.process("boot");
+  boot->inter_arrival(Dist::exponential(2000))
+      .raise(1000 / scale, [sys](std::uint64_t id) { sys->join(id); }, Dist::uniform_bits(16));
+
+  auto churn = scenario.process("churn");
+  churn->inter_arrival(Dist::exponential(500))
+      .raise(500 / scale, [sys](std::uint64_t id) { sys->join(id); }, Dist::uniform_bits(16))
+      .raise(500 / scale, [sys](std::uint64_t) {
+        if (auto victim = sys->random_alive()) sys->fail(*victim);
+      }, Dist::uniform_bits(16));
+
+  auto lookups = scenario.process("lookups");
+  lookups->inter_arrival(Dist::normal(50, 10))
+      .raise(5000 / scale,
+             [sys](std::uint64_t, std::uint64_t key) {
+               if (auto node = sys->random_alive()) {
+                 sys->lookup(*node, CatsSimulator::node_ring_key(key));
+               }
+             },
+             Dist::uniform_bits(16), Dist::uniform_bits(14));
+
+  scenario.start(boot);
+  scenario.start_after_termination_of(2000, boot, churn);   // sequential composition
+  scenario.start_after_start_of(3000, churn, lookups);      // parallel composition
+  scenario.terminate_after_termination_of(1000, lookups);   // join synchronization
+
+  std::printf("simulating: seed=%llu scale=1/%llu ...\n",
+              static_cast<unsigned long long>(seed), static_cast<unsigned long long>(scale));
+  const TimeMs end = scenario.run(simulation);
+  // Drain in-flight operations.
+  simulation.run_until(end + 30000);
+
+  // ---- report ----------------------------------------------------------------
+  std::size_t completed = 0, failed = 0, pending = 0;
+  for (const auto& op : cats.history()) {
+    if (op.responded < 0) {
+      ++pending;
+    } else if (op.ok) {
+      ++completed;
+    } else {
+      ++failed;
+    }
+  }
+  const auto& st = hub->stats();
+  std::printf("virtual time     : %lld ms\n", static_cast<long long>(simulation.now()));
+  std::printf("events executed  : %llu\n",
+              static_cast<unsigned long long>(simulation.core().executed()));
+  std::printf("alive nodes      : %zu (all ready: %s)\n", cats.alive_count(),
+              cats.ready_count() == cats.alive_count() ? "yes" : "no");
+  if (cats.ready_count() != cats.alive_count()) {
+    for (auto id : cats.alive_ids()) {
+      auto& n = cats.node(id);
+      if (!n.ready()) {
+        auto& ring = n.ring.definition_as<CatsRing>();
+        std::fprintf(stderr, "  node %llu NOT ready: succs=%zu pred=%d\n",
+                     (unsigned long long)id, ring.successors().size(),
+                     (int)ring.has_predecessor());
+      }
+    }
+  }
+  std::printf("operations       : %zu total, %zu ok, %zu failed, %zu pending\n",
+              cats.history().size(), completed, failed, pending);
+  std::printf("network          : %llu sent, %llu delivered, %llu lost to partitions/churn\n",
+              static_cast<unsigned long long>(st.sent),
+              static_cast<unsigned long long>(st.delivered),
+              static_cast<unsigned long long>(st.unroutable + st.lost + st.partitioned));
+
+  const auto lin = check_history(cats.history());
+  std::printf("linearizable     : %s %s\n", lin.linearizable ? "yes" : "NO",
+              lin.explanation.c_str());
+  return lin.linearizable ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// reconfig_demo — dynamic reconfiguration (§2.6) in action: a live pipeline
+// Source -> Codec -> Sink keeps streaming while the Codec component is
+// hot-swapped (rot13 -> xor cipher). The §2.6 protocol — hold channels,
+// stop, re-plug, resume, retire — guarantees not a single event is lost,
+// which the demo proves by counting.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "kompics/kompics.hpp"
+
+using namespace kompics;
+
+class Chunk : public Event {
+ public:
+  Chunk(int seq, char byte) : seq(seq), byte(byte) {}
+  int seq;
+  char byte;
+};
+
+class Stream : public PortType {
+ public:
+  Stream() {
+    set_name("Stream");
+    negative<Chunk>();
+    positive<Chunk>();
+  }
+};
+
+class Source : public ComponentDefinition {
+ public:
+  void emit(int seq, char byte) { trigger(make_event<Chunk>(seq, byte), out_); }
+  Negative<Stream> out_ = provide<Stream>();
+};
+
+/// The reconfigurable stage. Mode is carried by an Init event so a
+/// replacement can be dropped in with different behaviour — the "state
+/// dump" of §2.6.
+class Codec : public ComponentDefinition {
+ public:
+  struct Mode : Init {
+    explicit Mode(char key) : key(key) {}
+    char key;  // 0 => rot13, else xor with key
+  };
+
+  Codec() {
+    subscribe<Mode>(control(), [this](const Mode& m) { key_ = m.key; });
+    subscribe<Chunk>(in_, [this](const Chunk& c) {
+      const char out = key_ == 0 ? rot13(c.byte) : static_cast<char>(c.byte ^ key_);
+      ++processed_;
+      trigger(make_event<Chunk>(c.seq, out), out_);
+    });
+  }
+
+  static char rot13(char c) {
+    if (c >= 'a' && c <= 'z') return static_cast<char>((c - 'a' + 13) % 26 + 'a');
+    return c;
+  }
+  int processed() const { return processed_; }
+
+ private:
+  Positive<Stream> in_ = require<Stream>();
+  Negative<Stream> out_ = provide<Stream>();
+  char key_ = 0;
+  int processed_ = 0;
+};
+
+class Sink : public ComponentDefinition {
+ public:
+  Sink() {
+    subscribe<Chunk>(in_, [this](const Chunk&) { received.fetch_add(1); });
+  }
+  Positive<Stream> in_ = require<Stream>();
+  std::atomic<int> received{0};
+};
+
+class PipelineMain : public ComponentDefinition {
+ public:
+  PipelineMain() {
+    source = create<Source>();
+    codec = create<Codec>();
+    codec.control()->trigger(make_event<Codec::Mode>(0));
+    sink = create<Sink>();
+    connect(source.provided<Stream>(), codec.required<Stream>());
+    connect(codec.provided<Stream>(), sink.required<Stream>());
+  }
+
+  void hot_swap(char new_key) {
+    // §2.6: hold -> stop -> (Stopped) -> unplug/plug -> init+start -> resume
+    // -> retire. One call; the protocol runs asynchronously and loses
+    // nothing.
+    codec = replace<Codec>(codec, make_event<Codec::Mode>(new_key));
+  }
+
+  Component source, codec, sink;
+};
+
+int main() {
+  auto runtime = Runtime::threaded();
+  auto main_c = runtime->bootstrap<PipelineMain>();
+  auto& pipeline = main_c.definition_as<PipelineMain>();
+  runtime->await_quiescence();
+
+  std::printf("streaming through rot13 codec...\n");
+  int seq = 0;
+  auto& source = pipeline.source.definition_as<Source>();
+  for (int i = 0; i < 1000; ++i) source.emit(seq++, static_cast<char>('a' + i % 26));
+
+  std::printf("hot-swapping codec to xor-cipher WHILE the stream is in flight...\n");
+  pipeline.hot_swap(0x5a);
+  for (int i = 0; i < 1000; ++i) source.emit(seq++, static_cast<char>('a' + i % 26));
+
+  runtime->await_quiescence();
+  const int received = pipeline.sink.definition_as<Sink>().received.load();
+  std::printf("emitted %d chunks across the swap; sink received %d — %s\n", seq, received,
+              received == seq ? "ZERO LOSS" : "LOST EVENTS (bug!)");
+  std::printf("new codec handled %d chunks\n",
+              pipeline.codec.definition_as<Codec>().processed());
+  return received == seq ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// sim_debugging — the paper's "stepped debugging" workflow (§3, §4.2): a
+// whole distributed system paused at exact virtual instants, its internal
+// state inspected between steps, and the very same run replayed exactly by
+// reusing the seed. What a debugger gives you for one process, the
+// deterministic simulation gives you for a whole cluster.
+//
+// Usage: sim_debugging [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cats/cats_simulator.hpp"
+#include "sim/simulation.hpp"
+
+using namespace kompics;
+using namespace kompics::cats;
+using namespace kompics::sim;
+
+class Main : public ComponentDefinition {
+ public:
+  Main(SimulatorCore* core, SimNetworkHubPtr hub, CatsParams params) {
+    simulator = create<CatsSimulator>(core, hub, params);
+  }
+  Component simulator;
+};
+
+static void inspect(CatsSimulator& cats, TimeMs now) {
+  std::printf("t=%6lld ms | alive=%zu ready=%zu | per-node view:\n", (long long)now,
+              cats.alive_count(), cats.ready_count());
+  for (auto id : cats.alive_ids()) {
+    auto& n = cats.node(id);
+    auto& ring = n.ring.definition_as<CatsRing>();
+    std::printf("   node %5llu: ready=%d pred=%s succ[0]=%s table=%zu store=%zu\n",
+                (unsigned long long)id, (int)ring.ready(),
+                ring.has_predecessor()
+                    ? std::to_string(ring.predecessor().key >> 48).c_str()
+                    : "-",
+                ring.successors().empty()
+                    ? "-"
+                    : std::to_string(ring.successors()[0].key >> 48).c_str(),
+                n.router.definition_as<OneHopRouter>().table_size(),
+                n.abd.definition_as<ConsistentABD>().store_size());
+  }
+}
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  Simulation sim(Config{}, seed);
+  auto hub = std::make_shared<SimNetworkHub>(&sim.core(), seed, LinkModel{1, 8, 0.0, false});
+  auto main_c = sim.bootstrap<Main>(&sim.core(), hub, CatsParams{});
+  sim.run_until(1);
+  auto& cats = main_c.definition_as<Main>().simulator.definition_as<CatsSimulator>();
+
+  std::printf("== stepping a 4-node CATS boot, pausing to inspect (seed %llu) ==\n",
+              (unsigned long long)seed);
+  for (std::uint64_t id : {11, 22, 33, 44}) cats.join(id);
+
+  // Step in 500 ms slices of VIRTUAL time; between steps nothing moves —
+  // the whole cluster is frozen and inspectable.
+  for (int s = 1; s <= 6; ++s) {
+    sim.run_until(s * 500);
+    inspect(cats, sim.now());
+  }
+
+  std::printf("\n== a put, stepped through its quorum phases ==\n");
+  cats.put(11, hash_to_ring("stepped"), Value{1, 2, 3});
+  for (int s = 0; s < 4; ++s) {
+    sim.run_until(sim.now() + 25);
+    const auto& rec = cats.history().back();
+    std::printf("t=%6lld ms | put %s\n", (long long)sim.now(),
+                rec.responded >= 0 ? (rec.ok ? "COMPLETED ok" : "failed") : "in flight...");
+    if (rec.responded >= 0) break;
+  }
+
+  std::printf("\n== determinism: events executed this run: %llu ==\n",
+              (unsigned long long)sim.core().executed());
+  std::printf("re-run with the same seed to step through the identical execution;\n"
+              "change the seed for a different (but equally reproducible) run.\n");
+  return 0;
+}

@@ -1,0 +1,236 @@
+#include "cats/abd.hpp"
+
+namespace kompics::cats {
+
+ConsistentABD::ConsistentABD() {
+  register_cats_serializers();
+
+  subscribe<Init>(control(), [this](const Init& init) {
+    self_ = init.self;
+    params_ = init.params;
+  });
+
+  // ---- client API ----------------------------------------------------------
+
+  subscribe<PutRequest>(putget_, [this](const PutRequest& req) {
+    Op op;
+    op.type = OpType::kPut;
+    op.client_id = req.id;
+    op.key = req.key;
+    op.put_value = req.value;
+    op.retries_left = params_.op_max_retries;
+    start_op(fresh_id(), std::move(op));
+  });
+
+  subscribe<GetRequest>(putget_, [this](const GetRequest& req) {
+    Op op;
+    op.type = OpType::kGet;
+    op.client_id = req.id;
+    op.key = req.key;
+    op.retries_left = params_.op_max_retries;
+    start_op(fresh_id(), std::move(op));
+  });
+
+  // ---- router answers --------------------------------------------------------
+
+  subscribe<LookupResponse>(router_, [this](const LookupResponse& resp) {
+    auto it = ops_.find(internal_of(resp.id));
+    if (it == ops_.end() || it->second.phase != Phase::kLookup ||
+        it->second.attempt != attempt_of(resp.id)) {
+      return;  // not ours (shared Router port) or a stale attempt
+    }
+    Op& op = it->second;
+    if (resp.group.empty()) {
+      // Ring not converged around the key yet; the armed op timeout will
+      // retry with a fresh lookup.
+      return;
+    }
+    op.group = resp.group;
+    op.quorum = op.group.size() / 2 + 1;
+    if (op.type == OpType::kPut && op.tag_chosen) {
+      // Retried put whose tag is already fixed: go straight to (idempotent)
+      // write retransmission; a fresh read phase must not re-tag the value.
+      begin_write_phase(it->first, op);
+    } else {
+      begin_read_phase(it->first, op);
+    }
+  });
+
+  // ---- replica side ------------------------------------------------------------
+
+  subscribe<AbdReadMsg>(network_, [this](const AbdReadMsg& msg) {
+    const Replica& r = store_[msg.key];  // default: tag {0,0}, no value
+    trigger(make_event<AbdReadAckMsg>(self_.addr, msg.source(), msg.op, msg.key, r.tag,
+                                      r.exists, r.value),
+            network_);
+  });
+
+  subscribe<AbdWriteMsg>(network_, [this](const AbdWriteMsg& msg) {
+    Replica& r = store_[msg.key];
+    if (msg.exists && r.tag < msg.tag) {
+      r.tag = msg.tag;
+      r.exists = true;
+      r.value = msg.value;
+    }
+    trigger(make_event<AbdWriteAckMsg>(self_.addr, msg.source(), msg.op, msg.key), network_);
+  });
+
+  // ---- coordinator side ----------------------------------------------------------
+
+  subscribe<AbdReadAckMsg>(network_, [this](const AbdReadAckMsg& ack) {
+    auto it = ops_.find(internal_of(ack.op));
+    if (it == ops_.end() || it->second.phase != Phase::kRead ||
+        it->second.attempt != attempt_of(ack.op)) {
+      return;
+    }
+    Op& op = it->second;
+    ++op.acks;
+    if (op.max_tag < ack.tag || (!op.max_exists && ack.exists)) {
+      op.max_tag = ack.tag;
+      op.max_exists = ack.exists;
+      op.max_value = ack.value;
+    }
+    if (op.acks >= op.quorum) {
+      if (op.type == OpType::kGet && !op.max_exists) {
+        // Nothing to impose: answer "not found" directly.
+        finish_op(it->first, op, true);
+      } else {
+        begin_write_phase(it->first, op);
+      }
+    }
+  });
+
+  subscribe<AbdWriteAckMsg>(network_, [this](const AbdWriteAckMsg& ack) {
+    auto it = ops_.find(internal_of(ack.op));
+    if (it == ops_.end() || it->second.phase != Phase::kWrite ||
+        it->second.attempt != attempt_of(ack.op)) {
+      return;
+    }
+    Op& op = it->second;
+    ++op.acks;
+    if (op.acks >= op.quorum) finish_op(it->first, op, true);
+  });
+
+  // ---- timeouts --------------------------------------------------------------------
+
+  subscribe<OpTimeout>(timer_, [this](const OpTimeout& t) { retry_or_fail(t.op); });
+
+  subscribe<StatusRequest>(status_, [this](const StatusRequest& req) {
+    std::map<std::string, std::string> fields;
+    fields["store_size"] = std::to_string(store_.size());
+    fields["ops_inflight"] = std::to_string(ops_.size());
+    fields["puts_ok"] = std::to_string(counters_.puts_ok);
+    fields["gets_ok"] = std::to_string(counters_.gets_ok);
+    fields["ops_failed"] = std::to_string(counters_.ops_failed);
+    fields["retries"] = std::to_string(counters_.retries);
+    trigger(make_event<StatusResponse>(req.id, "ConsistentABD", std::move(fields)), status_);
+  });
+}
+
+void ConsistentABD::start_op(OpId internal, Op op) {
+  auto [it, inserted] = ops_.emplace(internal, std::move(op));
+  begin_lookup(internal, it->second);
+}
+
+void ConsistentABD::begin_lookup(OpId internal, Op& op) {
+  op.phase = Phase::kLookup;
+  op.acks = 0;
+  op.max_tag = VersionTag{};
+  op.max_exists = false;
+  op.max_value.clear();
+  auto timeout = timing::schedule<OpTimeout>(params_.op_timeout_ms, internal);
+  op.timeout_id = timeout->timeout_id();
+  trigger(timeout, timer_);
+  trigger(make_event<LookupRequest>(wire_id(internal, op.attempt), op.key,
+                                    params_.replication_degree),
+          router_);
+}
+
+void ConsistentABD::begin_read_phase(OpId internal, Op& op) {
+  op.phase = Phase::kRead;
+  op.acks = 0;
+  for (const auto& n : op.group) {
+    trigger(make_event<AbdReadMsg>(self_.addr, n.addr, wire_id(internal, op.attempt), op.key),
+            network_);
+  }
+}
+
+void ConsistentABD::begin_write_phase(OpId internal, Op& op) {
+  op.phase = Phase::kWrite;
+  op.acks = 0;
+  VersionTag tag;
+  bool exists;
+  const Value* value;
+  if (op.type == OpType::kPut) {
+    if (!op.tag_chosen) {
+      // Writer tiebreak must be unique per *operation*: one node can run
+      // concurrent puts for the same key, and if both picked (c+1, node_key)
+      // the replicas would disagree about the value stored under one tag — a
+      // real linearizability violation found by the history checker. Mixing
+      // the internal op id in keeps tags totally ordered and (with
+      // overwhelming probability) collision-free across writers.
+      op.chosen_tag = VersionTag{op.max_tag.counter + 1, derive_seed(self_.key, internal)};
+      op.tag_chosen = true;
+    }
+    tag = op.chosen_tag;
+    exists = true;
+    value = &op.put_value;
+  } else {
+    tag = op.max_tag;
+    exists = op.max_exists;
+    value = &op.max_value;
+  }
+  for (const auto& n : op.group) {
+    trigger(make_event<AbdWriteMsg>(self_.addr, n.addr, wire_id(internal, op.attempt), op.key,
+                                    tag, exists, *value),
+            network_);
+  }
+}
+
+void ConsistentABD::finish_op(OpId internal, Op& op, bool ok) {
+  trigger(make_event<timing::CancelTimeout>(op.timeout_id), timer_);
+  if (op.type == OpType::kPut) {
+    if (ok) {
+      ++counters_.puts_ok;
+    } else {
+      ++counters_.ops_failed;
+    }
+    trigger(make_event<PutResponse>(op.client_id, op.key, ok), putget_);
+  } else {
+    if (ok) {
+      ++counters_.gets_ok;
+    } else {
+      ++counters_.ops_failed;
+    }
+    trigger(make_event<GetResponse>(op.client_id, op.key, ok, op.max_exists, op.max_value),
+            putget_);
+  }
+  ops_.erase(internal);
+}
+
+void ConsistentABD::retry_or_fail(OpId internal) {
+  auto it = ops_.find(internal);
+  if (it == ops_.end()) return;  // completed already
+  Op& op = it->second;
+  if (op.retries_left > 0) {
+    --op.retries_left;
+    ++op.attempt;
+    ++counters_.retries;
+    begin_lookup(internal, op);  // fresh group lookup, fresh quorum rounds
+    return;
+  }
+  switch (op.phase) {
+    case Phase::kLookup:
+      ++counters_.failed_in_lookup;
+      break;
+    case Phase::kRead:
+      ++counters_.failed_in_read;
+      break;
+    case Phase::kWrite:
+      ++counters_.failed_in_write;
+      break;
+  }
+  finish_op(internal, op, false);
+}
+
+}  // namespace kompics::cats

@@ -1,0 +1,121 @@
+#pragma once
+
+// ConsistentABD (Fig. 11): quorum-based linearizable reads and writes — a
+// multi-writer multi-reader atomic register per key (Attiya-Bar-Noy-Dolev),
+// layered over the One-Hop Router (to discover the replication group of a
+// key) and the Network (for the quorum phases).
+//
+// Put(k, v):  phase 1 queries a majority of the group for version tags and
+//             picks max; phase 2 writes (max.counter + 1, self) to a
+//             majority.
+// Get(k):     phase 1 reads (tag, value) from a majority; phase 2 imposes
+//             the maximum back onto a majority before responding (the ABD
+//             write-back, which is what makes concurrent reads linearizable).
+//
+// Replicas are passive: they answer reads with their stored (tag, value)
+// and apply writes only when the incoming tag is newer. Operations time out
+// and retry with a fresh group lookup (bounded), then fail — CATS targets
+// "partially synchronous, lossy, partitionable and dynamic networks" (§4).
+
+#include <unordered_map>
+
+#include "cats/messages.hpp"
+#include "cats/params.hpp"
+#include "cats/ports.hpp"
+#include "kompics/component.hpp"
+#include "kompics/kompics.hpp"
+#include "net/network_port.hpp"
+#include "timing/timer_port.hpp"
+
+namespace kompics::cats {
+
+class ConsistentABD : public ComponentDefinition {
+ public:
+  struct Init : kompics::Init {
+    Init(NodeRef self, CatsParams params) : self(self), params(params) {}
+    NodeRef self;
+    CatsParams params;
+  };
+
+  ConsistentABD();
+
+  struct Counters {
+    std::uint64_t puts_ok = 0;
+    std::uint64_t gets_ok = 0;
+    std::uint64_t ops_failed = 0;
+    std::uint64_t retries = 0;
+    // Phase the op was in when it finally gave up (diagnosis of failures).
+    std::uint64_t failed_in_lookup = 0;
+    std::uint64_t failed_in_read = 0;
+    std::uint64_t failed_in_write = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  std::size_t store_size() const { return store_.size(); }
+
+ private:
+  struct Replica {
+    VersionTag tag{};
+    bool exists = false;
+    Value value;
+  };
+
+  enum class OpType { kPut, kGet };
+  enum class Phase { kLookup, kRead, kWrite };
+
+  struct Op {
+    OpType type;
+    Phase phase = Phase::kLookup;
+    OpId client_id = 0;  // id from the PutGet request
+    RingKey key = 0;
+    Value put_value;
+    std::vector<NodeRef> group;
+    std::size_t quorum = 0;
+    std::size_t acks = 0;
+    VersionTag max_tag{};
+    bool max_exists = false;
+    Value max_value;
+    int retries_left = 0;
+    std::uint8_t attempt = 0;  ///< retry epoch, embedded in wire op ids
+    // A put chooses its version tag exactly once. Retries retransmit the
+    // SAME (tag, value): re-choosing a fresh (higher) tag would let one put
+    // take effect at two different linearization points (its value could be
+    // observed, overwritten, and then resurrect — a checker-found bug).
+    bool tag_chosen = false;
+    VersionTag chosen_tag{};
+    timing::TimeoutId timeout_id = 0;
+  };
+
+  struct OpTimeout : timing::Timeout {
+    OpTimeout(timing::TimeoutId id, OpId op) : Timeout(id), op(op) {}
+    OpId op;
+  };
+
+  // Wire op ids embed the retry attempt so acknowledgements from a
+  // timed-out attempt can never count toward a later attempt's quorum.
+  static OpId wire_id(OpId internal, std::uint8_t attempt) { return internal * 16 + attempt; }
+  static OpId internal_of(OpId wire) { return wire / 16; }
+  static std::uint8_t attempt_of(OpId wire) { return static_cast<std::uint8_t>(wire % 16); }
+
+  void start_op(OpId internal, Op op);
+  void begin_lookup(OpId internal, Op& op);
+  void begin_read_phase(OpId internal, Op& op);
+  void begin_write_phase(OpId internal, Op& op);
+  void finish_op(OpId internal, Op& op, bool ok);
+  void retry_or_fail(OpId internal);
+  OpId fresh_id() { return next_op_++; }
+
+  Negative<PutGet> putget_ = provide<PutGet>();
+  Negative<Status> status_ = provide<Status>();
+  Positive<Router> router_ = require<Router>();
+  Positive<net::Network> network_ = require<net::Network>();
+  Positive<timing::Timer> timer_ = require<timing::Timer>();
+
+  NodeRef self_;
+  CatsParams params_;
+  std::unordered_map<RingKey, Replica> store_;
+  std::unordered_map<OpId, Op> ops_;  // keyed by internal op id
+  OpId next_op_ = 1;
+  Counters counters_;
+};
+
+}  // namespace kompics::cats

@@ -1,0 +1,93 @@
+#pragma once
+
+// CatsClient (Fig. 10): the application-facing component that issues
+// functional requests over a PutGet port. Exposes a small callback API so
+// examples, stress tests, and benchmarks can drive a node without writing
+// their own component.
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "cats/ports.hpp"
+#include "kompics/component.hpp"
+#include "kompics/kompics.hpp"
+
+namespace kompics::cats {
+
+class CatsClient : public ComponentDefinition {
+ public:
+  using PutCallback = std::function<void(bool ok)>;
+  using GetCallback = std::function<void(bool ok, bool found, const Value& value)>;
+
+  CatsClient() {
+    subscribe<PutResponse>(putget_, [this](const PutResponse& resp) {
+      PutCallback cb;
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        auto it = puts_.find(resp.id);
+        if (it == puts_.end()) return;
+        cb = std::move(it->second);
+        puts_.erase(it);
+        ++completed_;
+      }
+      if (cb) cb(resp.ok);
+    });
+    subscribe<GetResponse>(putget_, [this](const GetResponse& resp) {
+      GetCallback cb;
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        auto it = gets_.find(resp.id);
+        if (it == gets_.end()) return;
+        cb = std::move(it->second);
+        gets_.erase(it);
+        ++completed_;
+      }
+      if (cb) cb(resp.ok, resp.found, resp.value);
+    });
+  }
+
+  /// Thread-safe: may be called from any thread (examples drive it from
+  /// main; benches from load generators).
+  OpId put(RingKey key, Value value, PutCallback cb = nullptr) {
+    OpId id;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      id = next_++;
+      puts_[id] = std::move(cb);
+    }
+    trigger(make_event<PutRequest>(id, key, std::move(value)), putget_);
+    return id;
+  }
+
+  OpId get(RingKey key, GetCallback cb = nullptr) {
+    OpId id;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      id = next_++;
+      gets_[id] = std::move(cb);
+    }
+    trigger(make_event<GetRequest>(id, key), putget_);
+    return id;
+  }
+
+  std::uint64_t completed() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return completed_;
+  }
+  std::size_t outstanding() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return puts_.size() + gets_.size();
+  }
+
+ private:
+  Positive<PutGet> putget_ = require<PutGet>();
+
+  mutable std::mutex mu_;
+  OpId next_ = 1;
+  std::uint64_t completed_ = 0;
+  std::unordered_map<OpId, PutCallback> puts_;
+  std::unordered_map<OpId, GetCallback> gets_;
+};
+
+}  // namespace kompics::cats

@@ -1,0 +1,146 @@
+#include "cats/cats_simulator.hpp"
+
+#include <stdexcept>
+
+namespace kompics::cats {
+
+using sim::NetworkEmulator;
+using sim::SimTimer;
+
+CatsSimulator::CatsSimulator(sim::SimulatorCore* core, sim::SimNetworkHubPtr hub,
+                             CatsParams params)
+    : core_(core), hub_(std::move(hub)), params_(params) {
+  register_cats_serializers();
+
+  // The shared bootstrap server runs as its own simulated "machine".
+  boot_emulator_ = create<NetworkEmulator>();
+  trigger(make_event<NetworkEmulator::Init>(boot_addr_, hub_), boot_emulator_.control());
+  boot_timer_ = create<SimTimer>();
+  trigger(make_event<SimTimer::Init>(core_), boot_timer_.control());
+  boot_server_ = create<BootstrapServer>();
+  trigger(make_event<BootstrapServer::Init>(boot_addr_, params_), boot_server_.control());
+  connect(boot_server_.required<net::Network>(), boot_emulator_.provided<net::Network>());
+  connect(boot_server_.required<timing::Timer>(), boot_timer_.provided<timing::Timer>());
+
+  subscribe<ExpJoin>(experiment_, [this](const ExpJoin& e) { join(e.node_id); });
+  subscribe<ExpFail>(experiment_, [this](const ExpFail& e) { fail(e.node_id); });
+  subscribe<ExpPut>(experiment_, [this](const ExpPut& e) { put(e.node_id, e.key, e.value); });
+  subscribe<ExpGet>(experiment_, [this](const ExpGet& e) { get(e.node_id, e.key); });
+  subscribe<ExpLookup>(experiment_, [this](const ExpLookup& e) { lookup(e.node_id, e.key); });
+}
+
+void CatsSimulator::join(std::uint64_t node_id) {
+  if (nodes_.count(node_id) != 0) return;  // scenario generated a duplicate id
+  NodeHandle h;
+  h.ref = NodeRef{node_ring_key(node_id), addr_of(node_id)};
+
+  h.emulator = create<NetworkEmulator>();
+  trigger(make_event<NetworkEmulator::Init>(h.ref.addr, hub_), h.emulator.control());
+  h.timer = create<SimTimer>();
+  trigger(make_event<SimTimer::Init>(core_), h.timer.control());
+  h.node = create<CatsNode>(h.ref, boot_addr_, Address{}, params_);
+
+  connect(h.node.required<net::Network>(), h.emulator.provided<net::Network>());
+  connect(h.node.required<timing::Timer>(), h.timer.provided<timing::Timer>());
+
+  // Record put/get responses flowing out of this node's PutGet port.
+  subscribe<PutResponse>(h.node.provided<PutGet>(), [this](const PutResponse& resp) {
+    auto it = inflight_.find(resp.id);
+    if (it == inflight_.end()) return;
+    OpRecord& rec = history_[it->second];
+    rec.responded = now();
+    rec.ok = resp.ok;
+    inflight_.erase(it);
+  });
+  subscribe<GetResponse>(h.node.provided<PutGet>(), [this](const GetResponse& resp) {
+    auto it = inflight_.find(resp.id);
+    if (it == inflight_.end()) return;
+    OpRecord& rec = history_[it->second];
+    rec.responded = now();
+    rec.ok = resp.ok;
+    rec.found = resp.found;
+    rec.got_value = resp.value;
+    inflight_.erase(it);
+  });
+
+  // Dynamically created children start passive: activate the subtree.
+  trigger(make_event<Start>(), h.emulator.control());
+  trigger(make_event<Start>(), h.timer.control());
+  trigger(make_event<Start>(), h.node.control());
+
+  nodes_.emplace(node_id, std::move(h));
+}
+
+void CatsSimulator::fail(std::uint64_t node_id) {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) return;
+  // Crash semantics: unhook from the network first so no further delivery
+  // reaches the dying subtree, then tear it down (§2.6 dynamic destroy).
+  hub_->detach(it->second.ref.addr);
+  destroy(it->second.emulator);
+  destroy(it->second.timer);
+  destroy(it->second.node);
+  nodes_.erase(it);
+}
+
+std::optional<std::size_t> CatsSimulator::put(std::uint64_t node_id, RingKey key, Value value) {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) return std::nullopt;
+  OpRecord rec;
+  rec.kind = OpRecord::Kind::kPut;
+  rec.node_id = node_id;
+  rec.key = key;
+  rec.put_value = value;
+  rec.invoked = now();
+  history_.push_back(std::move(rec));
+  const OpId id = next_client_op_++;
+  inflight_[id] = history_.size() - 1;
+  trigger(make_event<PutRequest>(id, key, std::move(value)), it->second.node.provided<PutGet>());
+  return history_.size() - 1;
+}
+
+std::optional<std::size_t> CatsSimulator::get(std::uint64_t node_id, RingKey key) {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) return std::nullopt;
+  OpRecord rec;
+  rec.kind = OpRecord::Kind::kGet;
+  rec.node_id = node_id;
+  rec.key = key;
+  rec.invoked = now();
+  history_.push_back(std::move(rec));
+  const OpId id = next_client_op_++;
+  inflight_[id] = history_.size() - 1;
+  trigger(make_event<GetRequest>(id, key), it->second.node.provided<PutGet>());
+  return history_.size() - 1;
+}
+
+std::vector<std::uint64_t> CatsSimulator::alive_ids() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, h] : nodes_) out.push_back(id);
+  return out;
+}
+
+CatsNode& CatsSimulator::node(std::uint64_t node_id) {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) throw std::out_of_range("no such node");
+  return it->second.node.definition_as<CatsNode>();
+}
+
+std::size_t CatsSimulator::ready_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, h] : nodes_) {
+    if (h.node.definition_as<CatsNode>().ready()) ++n;
+  }
+  return n;
+}
+
+std::optional<std::uint64_t> CatsSimulator::random_alive() {
+  if (nodes_.empty()) return std::nullopt;
+  const std::uint64_t idx = rng().next_below(nodes_.size());
+  auto it = nodes_.begin();
+  std::advance(it, static_cast<long>(idx));
+  return it->first;
+}
+
+}  // namespace kompics::cats

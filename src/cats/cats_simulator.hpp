@@ -1,0 +1,149 @@
+#pragma once
+
+// CatsSimulator (Fig. 12, left): the whole-system simulation assembly. One
+// component dynamically creates and destroys entire CATS nodes — each node
+// a subtree of {NetworkEmulator, SimTimer, CatsNode} — driven by commands
+// on its CatsExperiment port (or the equivalent public methods, which the
+// scenario-DSL operations call). "The ability to create and destroy node
+// subcomponents in CATS Simulator is clearly facilitated by Kompics'
+// support for dynamic reconfiguration and hierarchical composition" (§4.2).
+//
+// Every put/get is recorded in an operation history (invocation/response
+// virtual times, results) for offline linearizability checking.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cats/cats_node.hpp"
+#include "cats/params.hpp"
+#include "cats/ports.hpp"
+#include "kompics/component.hpp"
+#include "kompics/kompics.hpp"
+#include "sim/network_emulator.hpp"
+#include "sim/sim_timer.hpp"
+
+namespace kompics::cats {
+
+// ---- CatsExperiment port (paper's "CATS Experiment" abstraction) -----------
+
+class ExpJoin : public Event {
+ public:
+  explicit ExpJoin(std::uint64_t node_id) : node_id(node_id) {}
+  std::uint64_t node_id;
+};
+
+class ExpFail : public Event {
+ public:
+  explicit ExpFail(std::uint64_t node_id) : node_id(node_id) {}
+  std::uint64_t node_id;
+};
+
+class ExpPut : public Event {
+ public:
+  ExpPut(std::uint64_t node_id, RingKey key, Value value)
+      : node_id(node_id), key(key), value(std::move(value)) {}
+  std::uint64_t node_id;
+  RingKey key;
+  Value value;
+};
+
+class ExpGet : public Event {
+ public:
+  ExpGet(std::uint64_t node_id, RingKey key) : node_id(node_id), key(key) {}
+  std::uint64_t node_id;
+  RingKey key;
+};
+
+/// The paper's catsLookup(node, key): resolve the key's replication group.
+class ExpLookup : public Event {
+ public:
+  ExpLookup(std::uint64_t node_id, RingKey key) : node_id(node_id), key(key) {}
+  std::uint64_t node_id;
+  RingKey key;
+};
+
+class CatsExperiment : public PortType {
+ public:
+  CatsExperiment() {
+    set_name("CatsExperiment");
+    request<ExpJoin>();
+    request<ExpFail>();
+    request<ExpPut>();
+    request<ExpGet>();
+    request<ExpLookup>();
+  }
+};
+
+// ---- operation history for linearizability checking --------------------------
+
+struct OpRecord {
+  enum class Kind { kPut, kGet };
+  Kind kind;
+  std::uint64_t node_id = 0;
+  RingKey key = 0;
+  Value put_value;          // puts
+  TimeMs invoked = 0;
+  TimeMs responded = -1;    // -1 => pending at end of run
+  bool ok = false;
+  bool found = false;       // gets
+  Value got_value;          // gets
+};
+
+// ---- the simulator component ---------------------------------------------------
+
+class CatsSimulator : public ComponentDefinition {
+ public:
+  /// Spreads 16-bit scenario node ids uniformly over the 64-bit ring.
+  static RingKey node_ring_key(std::uint64_t node_id) { return node_id << 48; }
+
+  CatsSimulator(sim::SimulatorCore* core, sim::SimNetworkHubPtr hub, CatsParams params);
+
+  // Commands (also reachable via the CatsExperiment port).
+  void join(std::uint64_t node_id);
+  void fail(std::uint64_t node_id);
+  std::optional<std::size_t> put(std::uint64_t node_id, RingKey key, Value value);
+  std::optional<std::size_t> get(std::uint64_t node_id, RingKey key);
+  void lookup(std::uint64_t node_id, RingKey key) { get(node_id, key); }
+
+  // Inspection.
+  std::size_t alive_count() const { return nodes_.size(); }
+  bool is_alive(std::uint64_t node_id) const { return nodes_.count(node_id) != 0; }
+  std::vector<std::uint64_t> alive_ids() const;
+  const std::vector<OpRecord>& history() const { return history_; }
+  CatsNode& node(std::uint64_t node_id);
+  std::size_t ready_count() const;
+  const sim::SimNetworkHub& hub() const { return *hub_; }
+
+  /// Pick a random alive node id (for scenario ops addressed to "any node").
+  std::optional<std::uint64_t> random_alive();
+
+ private:
+  struct NodeHandle {
+    Component emulator;
+    Component timer;
+    Component node;
+    NodeRef ref;
+  };
+
+  Address addr_of(std::uint64_t node_id) const {
+    return Address::node(static_cast<std::uint32_t>(node_id) + 2, 1);
+  }
+
+  Negative<CatsExperiment> experiment_ = provide<CatsExperiment>();
+
+  sim::SimulatorCore* core_;
+  sim::SimNetworkHubPtr hub_;
+  CatsParams params_;
+
+  Component boot_emulator_, boot_timer_, boot_server_;
+  Address boot_addr_ = Address::node(1, 1);
+
+  std::map<std::uint64_t, NodeHandle> nodes_;
+  std::vector<OpRecord> history_;
+  std::map<OpId, std::size_t> inflight_;  // client op id -> history index
+  OpId next_client_op_ = 1;
+};
+
+}  // namespace kompics::cats

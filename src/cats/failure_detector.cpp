@@ -1,0 +1,83 @@
+#include "cats/failure_detector.hpp"
+
+namespace kompics::cats {
+
+PingFailureDetector::PingFailureDetector() {
+  register_cats_serializers();
+
+  subscribe<Init>(control(), [this](const Init& init) {
+    self_ = init.self;
+    params_ = init.params;
+  });
+
+  subscribe<Start>(control(), [this](const Start&) {
+    trigger(timing::schedule_periodic<PingRound>(params_.fd_ping_period_ms,
+                                                 params_.fd_ping_period_ms),
+            timer_);
+  });
+
+  subscribe<MonitorNode>(fd_, [this](const MonitorNode& m) {
+    if (m.node == self_ || monitored_.count(m.node) != 0) return;
+    Mon mon;
+    mon.timeout = params_.fd_initial_timeout_ms;
+    monitored_.emplace(m.node, mon);
+  });
+
+  subscribe<UnmonitorNode>(fd_, [this](const UnmonitorNode& m) { monitored_.erase(m.node); });
+
+  subscribe<PingRound>(timer_, [this](const PingRound&) { on_round(); });
+
+  subscribe<PingMsg>(network_, [this](const PingMsg& ping) {
+    trigger(make_event<PongMsg>(self_, ping.source(), ping.seq), network_);
+  });
+
+  subscribe<PongMsg>(network_, [this](const PongMsg& pong) {
+    auto it = monitored_.find(pong.source());
+    if (it == monitored_.end()) return;
+    Mon& mon = it->second;
+    if (pong.seq <= mon.seq_acked) return;  // stale
+    mon.seq_acked = pong.seq;
+    if (mon.suspected) {
+      // False suspicion: restore and back off the timeout (<>P adaptation).
+      mon.suspected = false;
+      mon.timeout += params_.fd_timeout_increment_ms;
+      ++restores_;
+      trigger(make_event<Restore>(pong.source()), fd_);
+    }
+  });
+
+  subscribe<StatusRequest>(status_, [this](const StatusRequest& req) {
+    std::map<std::string, std::string> fields;
+    fields["monitored"] = std::to_string(monitored_.size());
+    std::size_t suspected = 0;
+    for (const auto& [addr, mon] : monitored_) suspected += mon.suspected ? 1 : 0;
+    fields["suspected"] = std::to_string(suspected);
+    fields["suspicions_total"] = std::to_string(suspicions_);
+    fields["restores_total"] = std::to_string(restores_);
+    trigger(make_event<StatusResponse>(req.id, "PingFailureDetector", std::move(fields)),
+            status_);
+  });
+}
+
+void PingFailureDetector::on_round() {
+  const TimeMs current = now();
+  for (auto& [addr, mon] : monitored_) {
+    // Suspect nodes whose latest ping went unanswered past their timeout.
+    if (!mon.suspected && mon.seq_acked < mon.seq_sent &&
+        current - mon.last_ping_time >= mon.timeout) {
+      mon.suspected = true;
+      ++suspicions_;
+      trigger(make_event<Suspect>(addr), fd_);
+    }
+    // Ping again only when the previous round was answered or timed out;
+    // this keeps one outstanding probe per peer.
+    if (mon.seq_acked == mon.seq_sent || mon.suspected ||
+        current - mon.last_ping_time >= mon.timeout) {
+      ++mon.seq_sent;
+      mon.last_ping_time = current;
+      trigger(make_event<PingMsg>(self_, addr, mon.seq_sent), network_);
+    }
+  }
+}
+
+}  // namespace kompics::cats

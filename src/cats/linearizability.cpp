@@ -1,0 +1,148 @@
+#include "cats/linearizability.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_set>
+
+namespace kompics::cats {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+struct Checker {
+  std::vector<LinOp> ops;
+  std::vector<std::uint64_t> mask;  // chosen set
+  std::unordered_set<std::string> visited;
+  std::size_t mandatory_total = 0;
+  std::size_t mandatory_chosen = 0;
+  std::size_t max_states = 0;
+  bool budget_exceeded = false;
+
+  bool chosen(std::size_t i) const { return (mask[i / 64] >> (i % 64)) & 1u; }
+  void set(std::size_t i) { mask[i / 64] |= 1ull << (i % 64); }
+  void clear(std::size_t i) { mask[i / 64] &= ~(1ull << (i % 64)); }
+
+  static std::int64_t response_of(const LinOp& o) {
+    return (o.responded < 0 || o.optional) ? kInf : o.responded;
+  }
+
+  std::string memo_key(const std::optional<std::uint32_t>& value) const {
+    std::string k;
+    k.reserve(mask.size() * 8 + 5);
+    for (std::uint64_t w : mask) k.append(reinterpret_cast<const char*>(&w), 8);
+    const std::uint32_t v = value ? *value + 1 : 0;
+    k.append(reinterpret_cast<const char*>(&v), 4);
+    return k;
+  }
+
+  bool search(const std::optional<std::uint32_t>& value) {
+    if (mandatory_chosen == mandatory_total) return true;  // optionals may be dropped
+    if (visited.size() >= max_states) {
+      budget_exceeded = true;
+      return false;
+    }
+    if (!visited.insert(memo_key(value)).second) return false;
+
+    // An operation may be linearized next only if its invocation precedes
+    // every unchosen operation's response (otherwise some completed op
+    // would be ordered after an op that started after it finished).
+    std::int64_t min_response = kInf;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (!chosen(i)) min_response = std::min(min_response, response_of(ops[i]));
+    }
+
+    // Sound greedy rule: a candidate Get that reads the current value can
+    // always be linearized immediately. Gets do not change the register,
+    // and candidacy (invoked <= min unchosen response) already guarantees
+    // that no unchosen operation is real-time-ordered before it, so moving
+    // it to the front preserves any valid linearization of the rest. This
+    // collapses the dominant branching factor in read-heavy histories.
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (chosen(i) || ops[i].invoked > min_response) continue;
+      const LinOp& o = ops[i];
+      if (!o.is_put && !o.optional && o.value == value) {
+        set(i);
+        ++mandatory_chosen;
+        const bool ok = search(value);
+        --mandatory_chosen;
+        clear(i);
+        return ok;
+      }
+    }
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (chosen(i) || ops[i].invoked > min_response) continue;
+      const LinOp& o = ops[i];
+      if (!o.is_put && o.value != value) continue;  // Get must read current value
+      set(i);
+      if (!o.optional) ++mandatory_chosen;
+      const bool ok = search(o.is_put ? o.value : value);
+      if (!o.optional) --mandatory_chosen;
+      clear(i);
+      if (ok) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+LinResult check_register_history(std::vector<LinOp> ops, std::size_t max_states) {
+  Checker c;
+  c.ops = std::move(ops);
+  c.mask.assign((c.ops.size() + 63) / 64, 0);
+  c.max_states = max_states;
+  for (const auto& o : c.ops) c.mandatory_total += o.optional ? 0 : 1;
+  LinResult r;
+  r.linearizable = c.search(std::nullopt);
+  r.states = c.visited.size();
+  r.budget_exceeded = c.budget_exceeded;
+  if (!r.linearizable) {
+    r.explanation = c.budget_exceeded
+                        ? "search budget exceeded (inconclusive)"
+                        : "no valid linearization order exists for " +
+                              std::to_string(c.ops.size()) + " operations";
+  }
+  return r;
+}
+
+LinResult check_history(const std::vector<OpRecord>& history) {
+  // Intern values and split the history per key (registers are independent).
+  std::map<RingKey, std::vector<LinOp>> per_key;
+  std::map<Value, std::uint32_t> value_ids;
+  auto intern = [&value_ids](const Value& v) {
+    auto [it, inserted] = value_ids.emplace(v, static_cast<std::uint32_t>(value_ids.size()));
+    return it->second;
+  };
+
+  for (const auto& rec : history) {
+    LinOp op;
+    op.invoked = rec.invoked;
+    op.responded = rec.responded;
+    if (rec.kind == OpRecord::Kind::kPut) {
+      op.is_put = true;
+      op.value = intern(rec.put_value);
+      // A put that failed or never answered may still have reached a
+      // quorum: it is optional in the linearization.
+      op.optional = rec.responded < 0 || !rec.ok;
+    } else {
+      if (rec.responded < 0 || !rec.ok) continue;  // unanswered reads constrain nothing
+      op.is_put = false;
+      if (rec.found) op.value = intern(rec.got_value);
+    }
+    per_key[rec.key].push_back(op);
+  }
+
+  for (auto& [key, ops] : per_key) {
+    LinResult r = check_register_history(std::move(ops));
+    if (!r.linearizable) {
+      r.explanation += " (" + std::to_string(r.states) + " states)";
+      r.explanation = "key " + ring_key_str(key) + ": " + r.explanation;
+      return r;
+    }
+  }
+  return LinResult{true, ""};
+}
+
+}  // namespace kompics::cats

@@ -1,0 +1,50 @@
+#pragma once
+
+// Offline linearizability checker for per-key register histories (our
+// machine-checkable rendering of §4's "guaranteeing linearizable
+// consistency"). Wing & Gong-style exhaustive search with memoization:
+// a history is linearizable iff there exists a total order of operations,
+// consistent with real-time precedence, under which every Get returns the
+// value of the latest preceding Put (or "not found" when there is none).
+//
+// Operations that never completed (crashed coordinator, timeout) are
+// *optional*: the checker may linearize them at any point after invocation
+// or drop them entirely — a timed-out Put may or may not have taken effect.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cats/cats_simulator.hpp"
+#include "cats/ring_key.hpp"
+
+namespace kompics::cats {
+
+struct LinOp {
+  bool is_put = false;
+  std::int64_t invoked = 0;
+  std::int64_t responded = -1;  ///< -1 or beyond horizon => pending forever
+  bool optional = false;        ///< pending/failed: may or may not take effect
+  // Put: the written value id. Get: the observed value id (or nullopt for
+  // "not found"). Values are interned to small ids by the caller.
+  std::optional<std::uint32_t> value;
+};
+
+struct LinResult {
+  bool linearizable = true;
+  std::string explanation;   ///< non-empty on failure
+  std::size_t states = 0;    ///< search states explored (diagnostics)
+  bool budget_exceeded = false;
+};
+
+/// Checks one key's history. `ops` need not be sorted. `max_states` bounds
+/// the memoized search; on exhaustion the result is "not linearizable" with
+/// budget_exceeded set (the caller should treat it as inconclusive).
+LinResult check_register_history(std::vector<LinOp> ops, std::size_t max_states = 50'000'000);
+
+/// Convenience: splits a CatsSimulator history by key, interns values, and
+/// checks every key. Failed or pending operations become optional ops.
+LinResult check_history(const std::vector<OpRecord>& history);
+
+}  // namespace kompics::cats

@@ -1,0 +1,237 @@
+#pragma once
+
+// Network messages of the CATS protocols (Fig. 11), all registered with the
+// serialization registry so the same components run over TcpNetwork,
+// LoopbackNetwork (codec-exercising mode), or the NetworkEmulator.
+// Wire ids 100..149 are reserved for CATS.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cats/ports.hpp"
+#include "net/buffer.hpp"
+#include "net/network_port.hpp"
+
+namespace kompics::cats {
+
+using net::BufferReader;
+using net::BufferWriter;
+using net::Message;
+
+/// Call once (idempotent, thread-safe) before using CATS over a serializing
+/// network provider. Component constructors call it automatically.
+void register_cats_serializers();
+
+// ---- helpers ---------------------------------------------------------------
+
+inline void write_node_ref(BufferWriter& w, const NodeRef& n) {
+  w.u64(n.key);
+  n.addr.write(w);
+}
+inline NodeRef read_node_ref(BufferReader& r) {
+  NodeRef n;
+  n.key = r.u64();
+  n.addr = Address::read(r);
+  return n;
+}
+inline void write_node_refs(BufferWriter& w, const std::vector<NodeRef>& v) {
+  w.var_u64(v.size());
+  for (const auto& n : v) write_node_ref(w, n);
+}
+inline std::vector<NodeRef> read_node_refs(BufferReader& r) {
+  std::vector<NodeRef> v(r.var_u64());
+  for (auto& n : v) n = read_node_ref(r);
+  return v;
+}
+
+// ---- failure detector ------------------------------------------------------
+
+class PingMsg : public Message {
+ public:
+  PingMsg(Address s, Address d, std::uint64_t seq) : Message(s, d), seq(seq) {}
+  std::uint64_t seq;
+};
+
+class PongMsg : public Message {
+ public:
+  PongMsg(Address s, Address d, std::uint64_t seq) : Message(s, d), seq(seq) {}
+  std::uint64_t seq;
+};
+
+// ---- Cyclon ------------------------------------------------------------------
+
+struct CyclonEntry {
+  NodeRef node;
+  std::uint32_t age = 0;
+};
+
+class ShuffleRequestMsg : public Message {
+ public:
+  ShuffleRequestMsg(Address s, Address d, std::vector<CyclonEntry> entries)
+      : Message(s, d), entries(std::move(entries)) {}
+  std::vector<CyclonEntry> entries;
+};
+
+class ShuffleResponseMsg : public Message {
+ public:
+  ShuffleResponseMsg(Address s, Address d, std::vector<CyclonEntry> entries)
+      : Message(s, d), entries(std::move(entries)) {}
+  std::vector<CyclonEntry> entries;
+};
+
+// ---- ring maintenance --------------------------------------------------------
+
+/// Iteratively routed join lookup: find the successor of `target`.
+class FindSuccessorMsg : public Message {
+ public:
+  FindSuccessorMsg(Address s, Address d, NodeRef joiner, RingKey target)
+      : Message(s, d), joiner(joiner), target(target) {}
+  NodeRef joiner;
+  RingKey target;
+};
+
+class FoundSuccessorMsg : public Message {
+ public:
+  FoundSuccessorMsg(Address s, Address d, NodeRef successor, std::vector<NodeRef> successor_list)
+      : Message(s, d), successor(successor), successor_list(std::move(successor_list)) {}
+  NodeRef successor;
+  std::vector<NodeRef> successor_list;
+};
+
+/// Periodic stabilization probe to our successor.
+class GetRingStateMsg : public Message {
+ public:
+  GetRingStateMsg(Address s, Address d, NodeRef from) : Message(s, d), from(from) {}
+  NodeRef from;
+};
+
+class RingStateMsg : public Message {
+ public:
+  RingStateMsg(Address s, Address d, NodeRef self, bool has_pred, NodeRef pred,
+               std::vector<NodeRef> succs)
+      : Message(s, d), self(self), has_pred(has_pred), pred(pred), succs(std::move(succs)) {}
+  NodeRef self;
+  bool has_pred;
+  NodeRef pred;
+  std::vector<NodeRef> succs;
+};
+
+/// Chord-style notify: "I believe I am your predecessor".
+class NotifyMsg : public Message {
+ public:
+  NotifyMsg(Address s, Address d, NodeRef from) : Message(s, d), from(from) {}
+  NodeRef from;
+};
+
+// ---- ABD quorum replication ----------------------------------------------------
+
+struct VersionTag {
+  std::uint64_t counter = 0;
+  std::uint64_t writer = 0;  // tie-break
+  bool operator<(const VersionTag& o) const {
+    return counter != o.counter ? counter < o.counter : writer < o.writer;
+  }
+  bool operator==(const VersionTag& o) const {
+    return counter == o.counter && writer == o.writer;
+  }
+};
+
+class AbdReadMsg : public Message {
+ public:
+  AbdReadMsg(Address s, Address d, OpId op, RingKey key) : Message(s, d), op(op), key(key) {}
+  OpId op;
+  RingKey key;
+};
+
+class AbdReadAckMsg : public Message {
+ public:
+  AbdReadAckMsg(Address s, Address d, OpId op, RingKey key, VersionTag tag, bool exists,
+                Value value)
+      : Message(s, d), op(op), key(key), tag(tag), exists(exists), value(std::move(value)) {}
+  OpId op;
+  RingKey key;
+  VersionTag tag;
+  bool exists;
+  Value value;
+};
+
+class AbdWriteMsg : public Message {
+ public:
+  AbdWriteMsg(Address s, Address d, OpId op, RingKey key, VersionTag tag, bool exists,
+              Value value)
+      : Message(s, d), op(op), key(key), tag(tag), exists(exists), value(std::move(value)) {}
+  OpId op;
+  RingKey key;
+  VersionTag tag;
+  bool exists;  ///< false only for write-backs of "no value" (no-op impose)
+  Value value;
+};
+
+class AbdWriteAckMsg : public Message {
+ public:
+  AbdWriteAckMsg(Address s, Address d, OpId op, RingKey key) : Message(s, d), op(op), key(key) {}
+  OpId op;
+  RingKey key;
+};
+
+// ---- one-hop routing ---------------------------------------------------------
+
+/// Greedily forwarded lookup: find the replication group of `key` on behalf
+/// of `origin`. The responsible node answers the origin directly with a
+/// LookupResultMsg — one forwarding hop in the common (warm-table) case.
+class RouteLookupMsg : public Message {
+ public:
+  RouteLookupMsg(Address s, Address d, NodeRef origin, OpId op, RingKey key,
+                 std::uint32_t group_size, std::uint32_t ttl)
+      : Message(s, d), origin(origin), op(op), key(key), group_size(group_size), ttl(ttl) {}
+  NodeRef origin;
+  OpId op;
+  RingKey key;
+  std::uint32_t group_size;
+  std::uint32_t ttl;
+};
+
+class LookupResultMsg : public Message {
+ public:
+  LookupResultMsg(Address s, Address d, OpId op, RingKey key, std::vector<NodeRef> group)
+      : Message(s, d), op(op), key(key), group(std::move(group)) {}
+  OpId op;
+  RingKey key;
+  std::vector<NodeRef> group;
+};
+
+// ---- bootstrap ------------------------------------------------------------------
+
+class BootstrapRequestMsg : public Message {
+ public:
+  BootstrapRequestMsg(Address s, Address d, NodeRef self) : Message(s, d), self(self) {}
+  NodeRef self;
+};
+
+class BootstrapResponseMsg : public Message {
+ public:
+  BootstrapResponseMsg(Address s, Address d, std::vector<NodeRef> peers)
+      : Message(s, d), peers(std::move(peers)) {}
+  std::vector<NodeRef> peers;
+};
+
+class KeepAliveMsg : public Message {
+ public:
+  KeepAliveMsg(Address s, Address d, NodeRef self) : Message(s, d), self(self) {}
+  NodeRef self;
+};
+
+// ---- monitoring ------------------------------------------------------------------
+
+class StatusReportMsg : public Message {
+ public:
+  StatusReportMsg(Address s, Address d, NodeRef node,
+                  std::map<std::string, std::string> fields)
+      : Message(s, d), node(node), fields(std::move(fields)) {}
+  NodeRef node;
+  std::map<std::string, std::string> fields;
+};
+
+}  // namespace kompics::cats

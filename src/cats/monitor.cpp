@@ -1,0 +1,72 @@
+#include "cats/monitor.hpp"
+
+namespace kompics::cats {
+
+MonitorClient::MonitorClient() {
+  register_cats_serializers();
+
+  subscribe<Init>(control(), [this](const Init& init) {
+    self_ = init.self;
+    server_ = init.server;
+    params_ = init.params;
+  });
+
+  subscribe<Start>(control(), [this](const Start&) {
+    trigger(timing::schedule_periodic<ReportRound>(params_.monitor_period_ms,
+                                                   params_.monitor_period_ms),
+            timer_);
+  });
+
+  subscribe<ReportRound>(timer_, [this](const ReportRound&) {
+    // Open a new collection round: query all local components, close the
+    // round (and ship the report) shortly before the next one.
+    ++round_;
+    collected_.clear();
+    trigger(make_event<StatusRequest>(round_), status_);
+    trigger(timing::schedule<RoundClose>(params_.monitor_period_ms / 2 + 1, round_), timer_);
+  });
+
+  subscribe<StatusResponse>(status_, [this](const StatusResponse& resp) {
+    if (resp.id != round_) return;  // late answer from a previous round
+    for (const auto& [k, v] : resp.fields) collected_[resp.component + "." + k] = v;
+  });
+
+  subscribe<RoundClose>(timer_, [this](const RoundClose& rc) {
+    if (rc.round != round_ || collected_.empty()) return;
+    trigger(make_event<StatusReportMsg>(self_.addr, server_, self_, collected_), network_);
+  });
+}
+
+MonitorServer::MonitorServer() {
+  register_cats_serializers();
+
+  subscribe<Init>(control(), [this](const Init& init) { self_ = init.self; });
+
+  subscribe<StatusReportMsg>(network_, [this](const StatusReportMsg& msg) {
+    ++reports_received_;
+    NodeReport& r = view_[msg.node.addr];
+    r.node = msg.node;
+    r.received = now();
+    r.fields = msg.fields;
+  });
+
+  subscribe<StatusRequest>(status_, [this](const StatusRequest& req) {
+    std::map<std::string, std::string> fields;
+    fields["nodes_reporting"] = std::to_string(view_.size());
+    fields["reports_received"] = std::to_string(reports_received_);
+    trigger(make_event<StatusResponse>(req.id, "MonitorServer", std::move(fields)), status_);
+  });
+}
+
+std::string MonitorServer::render_text() const {
+  std::string out = "=== CATS global view: " + std::to_string(view_.size()) + " node(s) ===\n";
+  for (const auto& [addr, report] : view_) {
+    out += report.node.addr.to_node_string() + " (key " + ring_key_str(report.node.key) + ")\n";
+    for (const auto& [k, v] : report.fields) {
+      out += "  " + k + " = " + v + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace kompics::cats

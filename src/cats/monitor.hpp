@@ -1,0 +1,86 @@
+#pragma once
+
+// Monitoring service (paper §4.1): "a client component at each node
+// periodically inspects the status of various internal components ... and
+// sends reports to a monitoring server that can aggregate the status of
+// nodes and present a global view of the system."
+//
+// MonitorClient's required Status port is connected to every functional
+// component of the node; a StatusRequest fans out to all of them and the
+// responses for one round are aggregated into a single StatusReportMsg.
+
+#include <map>
+#include <string>
+
+#include "cats/messages.hpp"
+#include "cats/params.hpp"
+#include "cats/ports.hpp"
+#include "kompics/component.hpp"
+#include "kompics/kompics.hpp"
+#include "net/network_port.hpp"
+#include "timing/timer_port.hpp"
+
+namespace kompics::cats {
+
+class MonitorClient : public ComponentDefinition {
+ public:
+  struct Init : kompics::Init {
+    Init(NodeRef self, Address server, CatsParams params)
+        : self(self), server(server), params(params) {}
+    NodeRef self;
+    Address server;
+    CatsParams params;
+  };
+
+  MonitorClient();
+
+ private:
+  struct ReportRound : timing::Timeout {
+    using Timeout::Timeout;
+  };
+  struct RoundClose : timing::Timeout {
+    RoundClose(timing::TimeoutId id, OpId round) : Timeout(id), round(round) {}
+    OpId round;
+  };
+
+  Positive<Status> status_ = require<Status>();
+  Positive<net::Network> network_ = require<net::Network>();
+  Positive<timing::Timer> timer_ = require<timing::Timer>();
+
+  NodeRef self_;
+  Address server_;
+  CatsParams params_;
+  OpId round_ = 0;
+  std::map<std::string, std::string> collected_;
+};
+
+/// Aggregates per-node reports into a global view (queried by tests, the
+/// web front-end, and examples).
+class MonitorServer : public ComponentDefinition {
+ public:
+  struct Init : kompics::Init {
+    explicit Init(Address self) : self(self) {}
+    Address self;
+  };
+
+  MonitorServer();
+
+  struct NodeReport {
+    NodeRef node;
+    TimeMs received = 0;
+    std::map<std::string, std::string> fields;
+  };
+
+  const std::map<Address, NodeReport>& global_view() const { return view_; }
+  std::string render_text() const;
+
+ private:
+  Negative<Status> status_ = provide<Status>();
+  Positive<net::Network> network_ = require<net::Network>();
+
+  Address self_;
+  std::map<Address, NodeReport> view_;
+  std::uint64_t reports_received_ = 0;
+};
+
+}  // namespace kompics::cats

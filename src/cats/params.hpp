@@ -1,0 +1,52 @@
+#pragma once
+
+// Tunable protocol parameters for one CATS node. Defaults are sized for the
+// simulated scenarios (milliseconds of virtual time); deployments override
+// per Init event.
+
+#include "kompics/clock.hpp"
+
+#include <cstddef>
+
+namespace kompics::cats {
+
+struct CatsParams {
+  // Replication (paper §4.1 used degree 5 on the LAN deployment).
+  std::size_t replication_degree = 3;
+
+  // CATS Ring.
+  DurationMs stabilization_period_ms = 1000;
+  std::size_t successor_list_size = 8;
+
+  // Cyclon overlay.
+  DurationMs shuffle_period_ms = 1000;
+  std::size_t cyclon_cache_size = 16;
+  std::size_t cyclon_shuffle_length = 8;
+  // Entries older than this many shuffle rounds are purged: bounds how long
+  // gossip keeps echoing descriptors of dead nodes (live nodes re-inject
+  // themselves with age 0 on every shuffle they initiate).
+  std::uint32_t cyclon_max_age = 5;
+
+  // Ping failure detector.
+  DurationMs fd_ping_period_ms = 1000;
+  DurationMs fd_initial_timeout_ms = 4000;
+  DurationMs fd_timeout_increment_ms = 1000;
+
+  // ABD operations.
+  DurationMs op_timeout_ms = 3000;
+  int op_max_retries = 3;
+
+  // Bootstrap.
+  DurationMs keepalive_period_ms = 5000;
+  DurationMs bootstrap_eviction_ms = 15000;
+  std::size_t bootstrap_sample_size = 8;
+  // Periodic re-bootstrap: fresh peer samples re-seed the gossip overlay,
+  // which is what lets disjoint rings (after a healed partition) or an
+  // orphaned node (all neighbors suspected) find each other again and merge.
+  DurationMs bootstrap_refresh_ms = 10000;
+
+  // Monitoring.
+  DurationMs monitor_period_ms = 5000;
+};
+
+}  // namespace kompics::cats

@@ -1,0 +1,298 @@
+#pragma once
+
+// Service abstractions (port types + request/indication events) of the CATS
+// architecture, one per "abstraction package" of paper §3 / Fig. 11:
+//
+//   PutGet              — the store's client API (linearizable get/put)
+//   Ring                — ring membership / view maintenance (CATS Ring)
+//   Router              — key -> replication group lookup (One-Hop Router)
+//   NodeSampling        — random peer samples (Cyclon Overlay)
+//   EventuallyPerfectFD — ping failure detector (Suspect / Restore)
+//   Bootstrap           — node discovery at join time
+//   Status              — per-component introspection for monitoring / web
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kompics/event.hpp"
+#include "kompics/port_type.hpp"
+#include "net/address.hpp"
+#include "cats/ring_key.hpp"
+
+namespace kompics::cats {
+
+using net::Address;
+using Value = std::vector<std::uint8_t>;
+using OpId = std::uint64_t;
+
+// ---------------------------------------------------------------------------
+// PutGet (§4.1: "a simple API to get and put key-value pairs, while
+// guaranteeing linearizable consistency")
+// ---------------------------------------------------------------------------
+
+class PutRequest : public Event {
+ public:
+  PutRequest(OpId id, RingKey key, Value value) : id(id), key(key), value(std::move(value)) {}
+  OpId id;
+  RingKey key;
+  Value value;
+};
+
+class PutResponse : public Event {
+ public:
+  PutResponse(OpId id, RingKey key, bool ok) : id(id), key(key), ok(ok) {}
+  OpId id;
+  RingKey key;
+  bool ok;
+};
+
+class GetRequest : public Event {
+ public:
+  GetRequest(OpId id, RingKey key) : id(id), key(key) {}
+  OpId id;
+  RingKey key;
+};
+
+class GetResponse : public Event {
+ public:
+  GetResponse(OpId id, RingKey key, bool ok, bool found, Value value)
+      : id(id), key(key), ok(ok), found(found), value(std::move(value)) {}
+  OpId id;
+  RingKey key;
+  bool ok;     ///< false => operation failed/timed out
+  bool found;  ///< key had a value
+  Value value;
+};
+
+class PutGet : public PortType {
+ public:
+  PutGet() {
+    set_name("PutGet");
+    request<PutRequest>();
+    request<GetRequest>();
+    indication<PutResponse>();
+    indication<GetResponse>();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Ring (CATS Ring: topology maintenance)
+// ---------------------------------------------------------------------------
+
+struct NodeRef {
+  RingKey key = 0;
+  Address addr{};
+  bool operator==(const NodeRef& o) const { return key == o.key && addr == o.addr; }
+  bool operator!=(const NodeRef& o) const { return !(*this == o); }
+};
+
+/// Instructs the ring to join via the given contact nodes (empty = found a
+/// fresh ring).
+class JoinRing : public Event {
+ public:
+  explicit JoinRing(std::vector<Address> contacts) : contacts(std::move(contacts)) {}
+  std::vector<Address> contacts;
+};
+
+/// Current ring neighborhood of this node. Emitted on every change.
+class RingView : public Event {
+ public:
+  RingView(NodeRef self, NodeRef predecessor, bool has_predecessor,
+           std::vector<NodeRef> successors, bool sole_member)
+      : self(self),
+        predecessor(predecessor),
+        has_predecessor(has_predecessor),
+        successors(std::move(successors)),
+        sole_member(sole_member) {}
+  NodeRef self;
+  NodeRef predecessor;
+  bool has_predecessor;
+  std::vector<NodeRef> successors;
+  /// True only for a node that bootstrapped a fresh ring and has never had
+  /// a peer. A node that LOST all its neighbors (suspected under a
+  /// partition) is NOT a sole member: claiming whole-ring authority there
+  /// would be split-brain (see router.cpp).
+  bool sole_member;
+};
+
+/// Indication that this node has completed its join protocol.
+class RingReady : public Event {
+ public:
+  explicit RingReady(NodeRef self) : self(self) {}
+  NodeRef self;
+};
+
+class Ring : public PortType {
+ public:
+  Ring() {
+    set_name("Ring");
+    request<JoinRing>();
+    indication<RingView>();
+    indication<RingReady>();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Router (One-Hop Router: key -> replication group)
+// ---------------------------------------------------------------------------
+
+class LookupRequest : public Event {
+ public:
+  LookupRequest(OpId id, RingKey key, std::size_t group_size)
+      : id(id), key(key), group_size(group_size) {}
+  OpId id;
+  RingKey key;
+  std::size_t group_size;
+};
+
+class LookupResponse : public Event {
+ public:
+  LookupResponse(OpId id, RingKey key, std::vector<NodeRef> group)
+      : id(id), key(key), group(std::move(group)) {}
+  OpId id;
+  RingKey key;
+  std::vector<NodeRef> group;  ///< responsible node first, then its successors
+};
+
+class Router : public PortType {
+ public:
+  Router() {
+    set_name("Router");
+    request<LookupRequest>();
+    indication<LookupResponse>();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// NodeSampling (Cyclon Overlay)
+// ---------------------------------------------------------------------------
+
+/// Periodic random sample of live nodes, with their ring keys.
+class NodeSample : public Event {
+ public:
+  explicit NodeSample(std::vector<NodeRef> nodes) : nodes(std::move(nodes)) {}
+  std::vector<NodeRef> nodes;
+};
+
+/// Seeds the sampling overlay with initial contacts.
+class SamplingSeed : public Event {
+ public:
+  SamplingSeed(NodeRef self, std::vector<NodeRef> contacts)
+      : self(self), contacts(std::move(contacts)) {}
+  NodeRef self;
+  std::vector<NodeRef> contacts;
+};
+
+class NodeSampling : public PortType {
+ public:
+  NodeSampling() {
+    set_name("NodeSampling");
+    request<SamplingSeed>();
+    indication<NodeSample>();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// EventuallyPerfectFD (Ping Failure Detector)
+// ---------------------------------------------------------------------------
+
+class MonitorNode : public Event {
+ public:
+  explicit MonitorNode(Address node) : node(node) {}
+  Address node;
+};
+
+class UnmonitorNode : public Event {
+ public:
+  explicit UnmonitorNode(Address node) : node(node) {}
+  Address node;
+};
+
+class Suspect : public Event {
+ public:
+  explicit Suspect(Address node) : node(node) {}
+  Address node;
+};
+
+class Restore : public Event {
+ public:
+  explicit Restore(Address node) : node(node) {}
+  Address node;
+};
+
+class EventuallyPerfectFD : public PortType {
+ public:
+  EventuallyPerfectFD() {
+    set_name("EventuallyPerfectFD");
+    request<MonitorNode>();
+    request<UnmonitorNode>();
+    indication<Suspect>();
+    indication<Restore>();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Bootstrap (§4.1)
+// ---------------------------------------------------------------------------
+
+class BootstrapRequest : public Event {
+ public:
+  explicit BootstrapRequest(NodeRef self) : self(self) {}
+  NodeRef self;
+};
+
+class BootstrapResponse : public Event {
+ public:
+  explicit BootstrapResponse(std::vector<NodeRef> peers) : peers(std::move(peers)) {}
+  std::vector<NodeRef> peers;
+};
+
+/// Sent by the node after it finished joining: the client starts sending
+/// periodic keep-alives to the bootstrap server (§4.1).
+class BootstrapDone : public Event {
+ public:
+  BootstrapDone() = default;
+};
+
+class Bootstrap : public PortType {
+ public:
+  Bootstrap() {
+    set_name("Bootstrap");
+    request<BootstrapRequest>();
+    request<BootstrapDone>();
+    indication<BootstrapResponse>();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Status (monitoring / web introspection, §4.1)
+// ---------------------------------------------------------------------------
+
+class StatusRequest : public Event {
+ public:
+  explicit StatusRequest(OpId id) : id(id) {}
+  OpId id;
+};
+
+class StatusResponse : public Event {
+ public:
+  StatusResponse(OpId id, std::string component, std::map<std::string, std::string> fields)
+      : id(id), component(std::move(component)), fields(std::move(fields)) {}
+  OpId id;
+  std::string component;
+  std::map<std::string, std::string> fields;
+};
+
+class Status : public PortType {
+ public:
+  Status() {
+    set_name("Status");
+    request<StatusRequest>();
+    indication<StatusResponse>();
+  }
+};
+
+}  // namespace kompics::cats

@@ -1,0 +1,51 @@
+#pragma once
+
+// Ring-key arithmetic for CATS's consistent-hashing identifier ring (§4.1).
+// Keys live on a circular 64-bit space; interval membership must respect
+// wrap-around. These helpers are the foundation for ring maintenance,
+// one-hop routing, and replica placement, and are property-tested heavily.
+
+#include <cstdint>
+#include <string>
+
+namespace kompics::cats {
+
+using RingKey = std::uint64_t;
+
+/// True when k lies in the half-open ring interval (from, to].
+/// Conventions: if from == to the interval is the full ring (every key is a
+/// member) — this makes a 1-node ring responsible for everything.
+inline bool in_interval_oc(RingKey from, RingKey to, RingKey k) {
+  if (from == to) return true;
+  if (from < to) return k > from && k <= to;
+  return k > from || k <= to;  // wrapped
+}
+
+/// True when k lies in the open ring interval (from, to).
+inline bool in_interval_oo(RingKey from, RingKey to, RingKey k) {
+  if (from == to) return k != from;  // full ring minus the endpoint
+  if (from < to) return k > from && k < to;
+  return k > from || k < to;
+}
+
+/// Clockwise distance from a to b on the ring.
+inline std::uint64_t ring_distance(RingKey a, RingKey b) { return b - a; }  // mod 2^64 wrap
+
+/// Hashes an arbitrary application key (e.g., a string) onto the ring.
+/// FNV-1a accumulation followed by a splitmix64-style finalizer: FNV alone
+/// disperses its high bits poorly, and the ring's placement logic keys off
+/// exactly those bits.
+inline RingKey hash_to_ring(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+inline std::string ring_key_str(RingKey k) { return std::to_string(k); }
+
+}  // namespace kompics::cats

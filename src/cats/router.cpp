@@ -1,0 +1,162 @@
+#include "cats/router.hpp"
+
+#include <algorithm>
+
+namespace kompics::cats {
+
+OneHopRouter::OneHopRouter() {
+  register_cats_serializers();
+
+  subscribe<Init>(control(), [this](const Init& init) {
+    self_ = init.self;
+    params_ = init.params;
+  });
+
+  subscribe<NodeSample>(sampling_, [this](const NodeSample& sample) {
+    for (const auto& n : sample.nodes) learn(n);
+  });
+
+  subscribe<RingView>(ring_, [this](const RingView& view) {
+    view_received_ = true;
+    sole_member_ = view.sole_member;
+    self_ = view.self;
+    has_pred_ = view.has_predecessor;
+    pred_ = view.predecessor;
+    succs_ = view.successors;
+    if (view.has_predecessor) learn(view.predecessor);
+    for (const auto& s : view.successors) learn(s);
+  });
+
+  subscribe<LookupRequest>(router_, [this](const LookupRequest& req) {
+    evict_stale();
+    if (responsible_for(req.key)) {
+      ++lookups_served_;
+      trigger(make_event<LookupResponse>(req.id, req.key, build_group(req.key, req.group_size)),
+              router_);
+      return;
+    }
+    if (!forward(self_, req.id, req.key, static_cast<std::uint32_t>(req.group_size), kMaxHops)) {
+      // Nowhere to route: answer with an empty group; the caller retries.
+      trigger(make_event<LookupResponse>(req.id, req.key, std::vector<NodeRef>{}), router_);
+    }
+  });
+
+  subscribe<RouteLookupMsg>(network_, [this](const RouteLookupMsg& msg) {
+    // Note: the origin is deliberately NOT learned here — join lookups come
+    // from nodes that are not ring members yet, and routing to a non-member
+    // can livelock a lookup for that node's own key.
+    if (responsible_for(msg.key)) {
+      handle_lookup_at_responsible(msg.origin, msg.op, msg.key, msg.group_size);
+      return;
+    }
+    if (msg.ttl > 0) forward(msg.origin, msg.op, msg.key, msg.group_size, msg.ttl - 1);
+    // TTL exhausted: drop; the origin's operation timeout handles it.
+  });
+
+  subscribe<LookupResultMsg>(network_, [this](const LookupResultMsg& msg) {
+    for (const auto& n : msg.group) learn(n);
+    trigger(make_event<LookupResponse>(msg.op, msg.key, msg.group), router_);
+  });
+
+  subscribe<StatusRequest>(status_, [this](const StatusRequest& req) {
+    std::map<std::string, std::string> fields;
+    fields["table_size"] = std::to_string(table_.size());
+    fields["lookups_served"] = std::to_string(lookups_served_);
+    fields["lookups_forwarded"] = std::to_string(lookups_forwarded_);
+    trigger(make_event<StatusResponse>(req.id, "OneHopRouter", std::move(fields)), status_);
+  });
+}
+
+void OneHopRouter::learn(const NodeRef& n) {
+  if (n.addr == self_.addr || !n.addr.valid()) return;
+  Entry& e = table_[n.key];
+  e.node = n;
+  e.last_heard = now();
+}
+
+void OneHopRouter::evict_stale() {
+  const TimeMs cutoff = now() - kEntryTtlMs;
+  for (auto it = table_.begin(); it != table_.end();) {
+    it = it->second.last_heard < cutoff ? table_.erase(it) : std::next(it);
+  }
+}
+
+bool OneHopRouter::responsible_for(RingKey key) const {
+  if (!view_received_) return false;  // not a ring member yet
+  if (has_pred_) return in_interval_oc(pred_.key, self_.key, key);
+  // Whole-ring authority belongs only to a genuine sole member (a fresh
+  // ring's first node). A node that merely LOST all neighbors — e.g. cut
+  // off by a partition — must refuse authority, otherwise it would commit
+  // split-brain writes at quorum 1 (found by the partition tests).
+  return sole_member_;
+}
+
+std::vector<NodeRef> OneHopRouter::build_group(RingKey, std::size_t group_size) const {
+  // The responsible node heads the group; its ring successors replicate.
+  std::vector<NodeRef> group{self_};
+  for (const auto& s : succs_) {
+    if (group.size() >= group_size) break;
+    const bool dup = std::any_of(group.begin(), group.end(),
+                                 [&s](const NodeRef& g) { return g.addr == s.addr; });
+    if (!dup) group.push_back(s);
+  }
+  return group;
+}
+
+bool OneHopRouter::forward(const NodeRef& origin, OpId op, RingKey key,
+                           std::uint32_t group_size, std::uint32_t ttl) {
+  // Candidates: nodes in (self, key] — at or preceding the target (Chord
+  // rule: progress toward the key is guaranteed). Among the closest three
+  // we pick randomly: a retried lookup then explores a different path, so a
+  // stale table entry pointing at a dead node cannot black-hole the same
+  // operation forever.
+  const TimeMs cutoff = now() - kEntryTtlMs;
+  struct Cand {
+    std::uint64_t dist;
+    NodeRef node;
+  };
+  std::vector<Cand> candidates;
+  for (const auto& [k, e] : table_) {
+    if (e.last_heard < cutoff) continue;
+    if (!in_interval_oc(self_.key, key, k)) continue;
+    candidates.push_back(Cand{ring_distance(k, key), e.node});
+  }
+  NodeRef best{};
+  bool found = false;
+  if (!candidates.empty()) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Cand& a, const Cand& b) { return a.dist < b.dist; });
+    const std::size_t pool = std::min<std::size_t>(candidates.size(), 3);
+    best = candidates[rng().next_below(pool)].node;
+    found = true;
+  }
+  if (!found) {
+    // Fallback: route along the ring through our successor.
+    for (const auto& s : succs_) {
+      if (s.addr != self_.addr) {
+        best = s;
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) return false;
+  ++lookups_forwarded_;
+  trigger(make_event<RouteLookupMsg>(self_.addr, best.addr, origin, op, key, group_size, ttl),
+          network_);
+  return true;
+}
+
+void OneHopRouter::handle_lookup_at_responsible(const NodeRef& origin, OpId op, RingKey key,
+                                                std::size_t group_size) {
+  ++lookups_served_;
+  auto group = build_group(key, group_size);
+  if (origin.addr == self_.addr) {
+    trigger(make_event<LookupResponse>(op, key, std::move(group)), router_);
+  } else {
+    trigger(make_event<LookupResultMsg>(self_.addr, origin.addr, op, key, std::move(group)),
+            network_);
+  }
+}
+
+}  // namespace kompics::cats

@@ -1,0 +1,126 @@
+#include "channel.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "port.hpp"
+
+namespace kompics {
+
+void Channel::forward(const EventPtr& e, Direction d, const PortCore* from) {
+  PortCore* far = nullptr;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    const auto& filter = d == Direction::kPositive ? positive_filter_ : negative_filter_;
+    if (filter && !filter(*e)) return;  // selector: not for this channel
+    switch (state_) {
+      case State::kDead:
+        return;  // disconnected: drop (reconfiguration uses hold+unplug to avoid this)
+      case State::kHeld: {
+        const bool toward_positive = (from != positive_end_);
+        queue_.push_back(Pending{e, d, toward_positive});
+        return;
+      }
+      case State::kActive: {
+        far = far_of(from);
+        if (far == nullptr) {
+          // Far end unplugged: queue until plugged back (§2.6 — no loss).
+          const bool toward_positive = (from != positive_end_) || positive_end_ == nullptr;
+          queue_.push_back(Pending{e, d, toward_positive});
+          return;
+        }
+        break;
+      }
+    }
+  }
+  // Deliver outside the channel lock: dispatch takes port/component locks
+  // and may recursively traverse further channels.
+  far->deliver_from_channel(e, d);
+}
+
+void Channel::set_filter(Direction d, std::function<bool(const Event&)> filter) {
+  std::lock_guard<std::mutex> g(mu_);
+  (d == Direction::kPositive ? positive_filter_ : negative_filter_) = std::move(filter);
+}
+
+void Channel::hold() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (state_ == State::kActive) state_ = State::kHeld;
+}
+
+void Channel::resume() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (state_ != State::kHeld) return;
+  state_ = State::kActive;
+  flush_locked(lock);
+}
+
+void Channel::flush_locked(std::unique_lock<std::mutex>& lock) {
+  // Forward every queued event, in FIFO order, before releasing new traffic.
+  // Events whose destination end is still unplugged stay queued.
+  std::deque<Pending> ready;
+  std::deque<Pending> still;
+  for (auto& p : queue_) {
+    PortCore* dest = p.toward_positive ? positive_end_ : negative_end_;
+    if (dest == nullptr) {
+      still.push_back(std::move(p));
+    } else {
+      ready.push_back(std::move(p));
+    }
+  }
+  queue_ = std::move(still);
+  lock.unlock();
+  for (auto& p : ready) {
+    PortCore* dest = p.toward_positive ? positive_end_ : negative_end_;
+    if (dest != nullptr) dest->deliver_from_channel(p.event, p.direction);
+  }
+}
+
+void Channel::unplug(PortCore* end) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (end == positive_end_ && positive_end_ != nullptr) {
+    unplugged_was_positive_ = true;
+  } else if (end == negative_end_ && negative_end_ != nullptr) {
+    unplugged_was_positive_ = false;
+  } else {
+    throw std::logic_error("unplug: port is not an end of this channel");
+  }
+  unplugged_end_ = end;
+  end->detach_channel(this);
+  (unplugged_was_positive_ ? positive_end_ : negative_end_) = nullptr;
+}
+
+void Channel::plug(PortCore* new_end) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (unplugged_end_ == nullptr) throw std::logic_error("plug: channel has no unplugged end");
+  PortCore* other = unplugged_was_positive_ ? negative_end_ : positive_end_;
+  if (other != nullptr) {
+    if (new_end->type() != other->type()) throw std::logic_error("plug: port type mismatch");
+    if (new_end->polarity() == other->polarity()) {
+      throw std::logic_error("plug: polarity mismatch (must connect + to -)");
+    }
+  }
+  (unplugged_was_positive_ ? positive_end_ : negative_end_) = new_end;
+  unplugged_end_ = nullptr;
+  new_end->attach_channel(shared_from_this());
+  if (state_ == State::kActive) flush_locked(lock);
+}
+
+void Channel::destroy() {
+  PortCore* pos;
+  PortCore* neg;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (state_ == State::kDead) return;
+    state_ = State::kDead;
+    pos = positive_end_;
+    neg = negative_end_;
+    positive_end_ = nullptr;
+    negative_end_ = nullptr;
+    queue_.clear();
+  }
+  if (pos != nullptr) pos->detach_channel(this);
+  if (neg != nullptr) neg->detach_channel(this);
+}
+
+}  // namespace kompics

@@ -1,0 +1,100 @@
+#pragma once
+
+// Channels (paper §2.1, §2.6): first-class FIFO bindings between two
+// complementary port halves. Channels forward events in both directions and
+// support the four reconfiguration commands of §2.6:
+//
+//   hold()    — stop forwarding; queue events in both directions.
+//   resume()  — flush queued events in FIFO order, then forward as usual.
+//   unplug(p) — detach one end from its port (events toward the unplugged
+//               end are queued, so nothing is dropped mid-reconfiguration).
+//   plug(p)   — attach the unplugged end to a (possibly different) port.
+//
+// A channel connects a positive half to a negative half of the same port
+// type. Since a composite component's *inside* half has flipped polarity,
+// the same connect() call also builds pass-through channels from a
+// composite's own port to its children's ports (Figs. 10-11).
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "event.hpp"
+#include "port_type.hpp"
+
+namespace kompics {
+
+class PortCore;
+
+class Channel : public std::enable_shared_from_this<Channel> {
+ public:
+  enum class State : unsigned char { kActive, kHeld, kDead };
+
+  /// Use connect() (component.hpp) instead of constructing directly.
+  Channel(PortCore* positive_end, PortCore* negative_end)
+      : positive_end_(positive_end), negative_end_(negative_end) {}
+
+  /// Forward an event that left `from` toward the far end. Honors
+  /// hold/unplug queuing; drops events only when the channel is dead
+  /// (i.e., after disconnect).
+  void forward(const EventPtr& e, Direction d, const PortCore* from);
+
+  /// §2.6 reconfiguration commands.
+  void hold();
+  void resume();
+  void unplug(PortCore* end);
+  void plug(PortCore* new_end);
+
+  /// Channel selector (the Java implementation's per-channel event
+  /// filtering, the mechanism behind §2.3's "avoids forwarding events on
+  /// channels that would not lead to any compatible subscribed handlers"):
+  /// events traveling in direction `d` are forwarded only when the
+  /// predicate accepts them. One filter per direction; pass nullptr to
+  /// clear. Filters must be pure (they run under the channel lock).
+  void set_filter(Direction d, std::function<bool(const Event&)> filter);
+
+  /// Tears the channel down (disconnect): detaches both ends, drops queued
+  /// events.
+  void destroy();
+
+  State state() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return state_;
+  }
+  PortCore* positive_end() const { return positive_end_; }
+  PortCore* negative_end() const { return negative_end_; }
+
+  /// Number of events currently queued (held or awaiting plug).
+  std::size_t queued() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return queue_.size();
+  }
+
+ private:
+  struct Pending {
+    EventPtr event;
+    Direction direction;
+    bool toward_positive;  ///< destination end when queued
+  };
+
+  PortCore* far_of(const PortCore* from) const {
+    return from == positive_end_ ? negative_end_ : positive_end_;
+  }
+
+  void flush_locked(std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mu_;
+  State state_ = State::kActive;
+  std::function<bool(const Event&)> positive_filter_;
+  std::function<bool(const Event&)> negative_filter_;
+  PortCore* positive_end_;
+  PortCore* negative_end_;
+  PortCore* unplugged_end_ = nullptr;  ///< remembered slot while unplugged
+  bool unplugged_was_positive_ = false;
+  std::deque<Pending> queue_;
+};
+
+using ChannelRef = std::shared_ptr<Channel>;
+
+}  // namespace kompics

@@ -1,0 +1,66 @@
+#pragma once
+
+// Time and randomness services (DESIGN.md §2.6). Components must obtain the
+// current time and random numbers exclusively through these interfaces; the
+// simulation runtime substitutes a virtual clock and seeded deterministic
+// streams, which is this port of the paper's JVM bytecode instrumentation
+// for running unmodified code in simulated time (§3).
+
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+namespace kompics {
+
+/// Milliseconds since an arbitrary epoch. All framework-visible time is
+/// integral milliseconds, matching the granularity the paper's scenarios use.
+using TimeMs = std::int64_t;
+using DurationMs = std::int64_t;
+
+/// Abstract clock: wall time in production, virtual time in simulation.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeMs now() const = 0;
+};
+
+/// Production clock backed by std::chrono::steady_clock.
+class WallClock final : public Clock {
+ public:
+  TimeMs now() const override {
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(steady_clock::now().time_since_epoch()).count();
+  }
+};
+
+/// Deterministic random stream. One stream per component (derived from the
+/// runtime seed and the component id) so that simulation runs are
+/// reproducible and independent of scheduling order.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : engine_(seed) {}
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+  }
+
+  double next_double() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Splits a seed into independent per-entity seeds (splitmix64 finalizer).
+inline std::uint64_t derive_seed(std::uint64_t root, std::uint64_t salt) {
+  std::uint64_t z = root + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace kompics

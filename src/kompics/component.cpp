@@ -1,0 +1,465 @@
+#include "component.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+
+#include "kompics.hpp"
+
+namespace kompics {
+
+ComponentCore::ComponentCore(Runtime* runtime, ComponentCore* parent, std::uint64_t id)
+    : runtime_(runtime),
+      parent_(parent),
+      id_(id),
+      name_("component-" + std::to_string(id)),
+      rng_(derive_seed(runtime->seed(), id)) {
+  control_ = std::make_unique<PortPair>(this, &port_type<ControlPort>(), /*provided=*/true);
+  control_->inside->set_port_id(std::type_index(typeid(ControlPort)), true);
+  control_->outside->set_port_id(std::type_index(typeid(ControlPort)), true);
+}
+
+ComponentCore::~ComponentCore() {
+  // No concurrency at this point: the last shared_ptr just dropped, so no
+  // scheduler token and no producer can reference this core.
+  drain_all_queues();
+}
+
+void ComponentCore::set_definition(std::unique_ptr<ComponentDefinition> def) {
+  definition_ = std::move(def);
+}
+
+void ComponentCore::add_child(ComponentCorePtr child) {
+  std::lock_guard<std::mutex> g(structure_mu_);
+  children_.push_back(std::move(child));
+}
+
+void ComponentCore::remove_child(ComponentCore* child) {
+  std::lock_guard<std::mutex> g(structure_mu_);
+  children_.erase(std::remove_if(children_.begin(), children_.end(),
+                                 [child](const ComponentCorePtr& c) { return c.get() == child; }),
+                  children_.end());
+}
+
+std::vector<ComponentCorePtr> ComponentCore::children() const {
+  std::lock_guard<std::mutex> g(structure_mu_);
+  return children_;
+}
+
+PortPair* ComponentCore::declare_port(const PortType* type, std::type_index tid, bool provided) {
+  std::lock_guard<std::mutex> g(structure_mu_);
+  for (const auto& p : ports_) {
+    if (p.tid == tid && p.provided == provided) {
+      throw std::logic_error("port of this type and kind already declared on component " + name_);
+    }
+  }
+  ports_.push_back(DeclaredPort{tid, provided, std::make_unique<PortPair>(this, type, provided)});
+  PortPair* pair = ports_.back().pair.get();
+  pair->inside->set_port_id(tid, provided);
+  pair->outside->set_port_id(tid, provided);
+  return pair;
+}
+
+std::vector<ComponentCore::PortInfo> ComponentCore::declared_ports() const {
+  std::lock_guard<std::mutex> g(structure_mu_);
+  std::vector<PortInfo> out;
+  out.reserve(ports_.size());
+  for (const auto& p : ports_) out.push_back(PortInfo{p.tid, p.provided, p.pair.get()});
+  return out;
+}
+
+PortPair* ComponentCore::find_port(std::type_index tid, bool provided) const {
+  std::lock_guard<std::mutex> g(structure_mu_);
+  for (const auto& p : ports_) {
+    if (p.tid == tid && p.provided == provided) return p.pair.get();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+void ComponentCore::enqueue_work(const EventPtr& e, PortCore* half, bool control) {
+  auto* item = new WorkItem{};
+  item->event = e;
+  item->half = half;
+  item->control = control;
+  (control ? control_q_ : normal_q_).push(item);
+  bump(1);
+}
+
+void ComponentCore::bump(std::int64_t k) {
+  if (k <= 0) return;
+  runtime_->pending_add(k);
+  if (work_count_.fetch_add(k, std::memory_order_acq_rel) == 0) {
+    runtime_->scheduler().schedule(shared_from_this());
+  }
+}
+
+void ComponentCore::complete_one() {
+  const std::int64_t prev = work_count_.fetch_sub(1, std::memory_order_acq_rel);
+  assert(prev >= 1);
+  if (prev > 1) runtime_->scheduler().schedule(shared_from_this());
+  runtime_->pending_sub(1);
+}
+
+void ComponentCore::park(WorkItem* item, bool to_control) {
+  (to_control ? parked_control_ : parked_normal_).push_back(item);
+}
+
+ComponentCore::WorkItem* ComponentCore::next_item() {
+  if (state() == LifecycleState::kDestroyed) {
+    // Drain one unit per call so bookkeeping stays exact. When retired into
+    // a successor (§2.6), application events are forwarded to the matching
+    // port of the replacement instead of dropped.
+    WorkItem* it = nullptr;
+    if (!replay_control_.empty()) {
+      it = replay_control_.front();
+      replay_control_.pop_front();
+    } else if (!replay_normal_.empty()) {
+      it = replay_normal_.front();
+      replay_normal_.pop_front();
+    } else if (!parked_control_.empty()) {
+      it = parked_control_.front();
+      parked_control_.pop_front();
+    } else if (!parked_normal_.empty()) {
+      it = parked_normal_.front();
+      parked_normal_.pop_front();
+    } else if ((it = control_q_.pop()) == nullptr) {
+      it = normal_q_.pop();
+    }
+    if (it != nullptr) {
+      ComponentCorePtr target;
+      {
+        std::lock_guard<std::mutex> g(structure_mu_);
+        target = forward_to_;
+      }
+      if (target != nullptr && !it->control && it->half != nullptr &&
+          it->half->owner() == this) {
+        PortPair* p = target->find_port(it->half->port_tid(), it->half->port_provided());
+        if (p != nullptr) {
+          PortCore* half = it->half->is_inside() ? p->inside.get() : p->outside.get();
+          target->enqueue_work(it->event, half, /*control=*/false);
+        }
+      }
+    }
+    delete it;
+    return nullptr;
+  }
+
+  const bool gate = needs_init_.load(std::memory_order_acquire) && !init_done_;
+
+  if (!gate && !replay_control_.empty()) {
+    WorkItem* it = replay_control_.front();
+    replay_control_.pop_front();
+    return it;
+  }
+  if (WorkItem* it = control_q_.pop()) {
+    // Init-first gate (§2.4): only Init — and Stop, so that an
+    // uninitialized component can still be passivated and replaced/
+    // destroyed (otherwise §2.6 reconfiguration could deadlock waiting for
+    // a Stopped that can never come) — may run before the Init arrives.
+    if (gate && !event_is<Init>(*it->event) && !event_is<Stop>(*it->event)) {
+      park(it, /*to_control=*/true);
+      return nullptr;
+    }
+    return it;
+  }
+  if (gate) {
+    // Only Init may run; park any counted normal work.
+    if (WorkItem* it = normal_q_.pop()) park(it, /*to_control=*/false);
+    return nullptr;
+  }
+
+  const bool active = state() == LifecycleState::kActive;
+  if (active && !replay_normal_.empty()) {
+    WorkItem* it = replay_normal_.front();
+    replay_normal_.pop_front();
+    return it;
+  }
+  if (WorkItem* it = normal_q_.pop()) {
+    if (!active) {
+      park(it, /*to_control=*/false);
+      return nullptr;
+    }
+    return it;
+  }
+  if (!active && !replay_normal_.empty()) {
+    // Counted replay item but the component was re-passivated: re-park.
+    park(replay_normal_.front(), /*to_control=*/false);
+    replay_normal_.pop_front();
+    return nullptr;
+  }
+  return nullptr;
+}
+
+void ComponentCore::execute() {
+  if (WorkItem* item = next_item()) run_item(item);
+  complete_one();
+}
+
+void ComponentCore::run_item(WorkItem* item) {
+  const EventPtr event = item->event;
+  PortCore* half = item->half;
+  const bool is_control = item->control;
+  delete item;
+
+  auto subs = half->matching_subscriptions(this, *event);
+  if (definition_ != nullptr) {
+    definition_->in_handler_ = true;
+    definition_->current_event_ = event;
+  }
+  for (const auto& s : subs) {
+    if (!s->active) continue;  // unsubscribed by an earlier handler this round
+    try {
+      s->invoke(*event);
+    } catch (...) {
+      if (definition_ != nullptr) {
+        definition_->in_handler_ = false;
+        definition_->current_event_ = nullptr;
+      }
+      escalate_fault(std::current_exception());
+      return;
+    }
+  }
+  if (definition_ != nullptr) {
+    definition_->in_handler_ = false;
+    definition_->current_event_ = nullptr;
+  }
+
+  if (is_control && half == control_inside()) builtin_lifecycle_event(*event);
+}
+
+void ComponentCore::builtin_lifecycle_event(const Event& e) {
+  if (event_is<Init>(e)) {
+    init_done_ = true;
+    flush_init_deferred();
+  } else if (event_is<Start>(e)) {
+    begin_start();
+  } else if (event_is<Stop>(e)) {
+    begin_stop();
+  }
+}
+
+void ComponentCore::begin_start() {
+  if (state() != LifecycleState::kPassive) {
+    emit_started();  // already active: confirm immediately
+    return;
+  }
+  state_.store(LifecycleState::kActive, std::memory_order_release);
+  flush_passive_deferred();
+  // Recursive activation (§2.4), with Started aggregation over the subtree
+  // (the dual of the stop protocol below).
+  const auto kids = children();
+  std::vector<ComponentCorePtr> passive_kids;
+  for (const auto& child : kids) {
+    if (child->state() == LifecycleState::kPassive) passive_kids.push_back(child);
+  }
+  start_pending_.store(static_cast<int>(passive_kids.size()), std::memory_order_release);
+  if (passive_kids.empty()) {
+    emit_started();
+    return;
+  }
+  for (const auto& child : passive_kids) {
+    child->control_outside()->trigger(std::make_shared<const Start>());
+  }
+}
+
+void ComponentCore::emit_started() {
+  control_inside()->trigger(std::make_shared<const Started>());
+  if (parent_ != nullptr) parent_->child_started();
+}
+
+void ComponentCore::child_started() {
+  int cur = start_pending_.load(std::memory_order_acquire);
+  while (cur > 0) {
+    if (start_pending_.compare_exchange_weak(cur, cur - 1, std::memory_order_acq_rel)) {
+      if (cur == 1) emit_started();
+      return;
+    }
+  }
+}
+
+void ComponentCore::begin_stop() {
+  if (state() != LifecycleState::kActive) {
+    // Already passive (or being destroyed): confirm immediately so waiting
+    // reconfiguration protocols make progress.
+    emit_stopped();
+    return;
+  }
+  state_.store(LifecycleState::kPassive, std::memory_order_release);
+  const auto kids = children();
+  std::vector<ComponentCorePtr> active_kids;
+  for (const auto& child : kids) {
+    if (child->state() == LifecycleState::kActive) active_kids.push_back(child);
+  }
+  stop_pending_.store(static_cast<int>(active_kids.size()), std::memory_order_release);
+  if (active_kids.empty()) {
+    emit_stopped();
+    return;
+  }
+  for (const auto& child : active_kids) {
+    child->control_outside()->trigger(std::make_shared<const Stop>());
+  }
+}
+
+void ComponentCore::emit_stopped() {
+  // Stopped travels out of the component: the parent (or a reconfiguration
+  // protocol) observes it on the control port's outside half.
+  control_inside()->trigger(std::make_shared<const Stopped>());
+  if (parent_ != nullptr) parent_->child_stopped();
+}
+
+void ComponentCore::child_stopped() {
+  // Lock-free guarded decrement: only counts down while a stop protocol is
+  // actually pending (a child may confirm spontaneously otherwise).
+  int cur = stop_pending_.load(std::memory_order_acquire);
+  while (cur > 0) {
+    if (stop_pending_.compare_exchange_weak(cur, cur - 1, std::memory_order_acq_rel)) {
+      if (cur == 1) emit_stopped();
+      return;
+    }
+  }
+}
+
+void ComponentCore::flush_init_deferred() {
+  const std::int64_t k = static_cast<std::int64_t>(parked_control_.size());
+  while (!parked_control_.empty()) {
+    replay_control_.push_back(parked_control_.front());
+    parked_control_.pop_front();
+  }
+  bump(k);
+}
+
+void ComponentCore::flush_passive_deferred() {
+  const std::int64_t k = static_cast<std::int64_t>(parked_normal_.size());
+  while (!parked_normal_.empty()) {
+    replay_normal_.push_back(parked_normal_.front());
+    parked_normal_.pop_front();
+  }
+  bump(k);
+}
+
+void ComponentCore::drain_all_queues() {
+  auto drop = [](std::deque<WorkItem*>& q) {
+    for (WorkItem* it : q) delete it;
+    q.clear();
+  };
+  drop(replay_control_);
+  drop(replay_normal_);
+  drop(parked_control_);
+  drop(parked_normal_);
+  while (WorkItem* it = control_q_.pop()) delete it;
+  while (WorkItem* it = normal_q_.pop()) delete it;
+}
+
+// ---------------------------------------------------------------------------
+// Faults (§2.5)
+// ---------------------------------------------------------------------------
+
+void ComponentCore::escalate_fault(std::exception_ptr error) {
+  std::string what = "unknown fault";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& ex) {
+    what = ex.what();
+  } catch (...) {
+  }
+  auto fault = std::make_shared<const Fault>(error, this, what);
+
+  // Walk up the containment hierarchy: at each level the Fault is (re-)
+  // triggered on that component's control port; the first ancestor with a
+  // matching Fault subscription supervises it. Unhandled faults reach the
+  // runtime's fault policy (paper: dump to stderr and halt).
+  ComponentCore* comp = this;
+  while (comp != nullptr) {
+    PortCore* out = comp->control_outside();
+    if (out->has_match(*fault)) {
+      out->dispatch(fault);
+      return;
+    }
+    comp = comp->parent();
+  }
+  runtime_->on_unhandled_fault(*fault);
+}
+
+// ---------------------------------------------------------------------------
+// Destruction
+// ---------------------------------------------------------------------------
+
+void ComponentCore::retire_into(ComponentCorePtr successor) {
+  {
+    std::lock_guard<std::mutex> g(structure_mu_);
+    forward_to_ = std::move(successor);
+  }
+  destroy_tree();
+}
+
+void ComponentCore::destroy_tree() {
+  std::vector<ComponentCorePtr> kids = children();
+  for (const auto& child : kids) child->destroy_tree();
+  {
+    std::lock_guard<std::mutex> g(structure_mu_);
+    children_.clear();
+  }
+  state_.store(LifecycleState::kDestroyed, std::memory_order_release);
+
+  auto detach_all = [](PortCore* half) {
+    for (const auto& c : half->channels()) c->destroy();
+  };
+  detach_all(control_->inside.get());
+  detach_all(control_->outside.get());
+  std::vector<PortPair*> pairs;
+  {
+    std::lock_guard<std::mutex> g(structure_mu_);
+    for (const auto& p : ports_) pairs.push_back(p.pair.get());
+  }
+  for (PortPair* p : pairs) {
+    detach_all(p->inside.get());
+    detach_all(p->outside.get());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ComponentDefinition
+// ---------------------------------------------------------------------------
+
+ComponentDefinition::ComponentDefinition() : core_(detail::current_core()) {
+  if (core_ == nullptr) {
+    throw std::logic_error(
+        "ComponentDefinition constructed outside the runtime; use Runtime::bootstrap or "
+        "ComponentDefinition::create");
+  }
+}
+
+ChannelRef ComponentDefinition::connect(PortCore* positive_half, PortCore* negative_half) {
+  if (positive_half == nullptr || negative_half == nullptr) {
+    throw std::invalid_argument("connect: null port");
+  }
+  if (positive_half->type() != negative_half->type()) {
+    throw std::logic_error("connect: port type mismatch");
+  }
+  if (positive_half->polarity() != Direction::kPositive) std::swap(positive_half, negative_half);
+  if (positive_half->polarity() != Direction::kPositive ||
+      negative_half->polarity() != Direction::kNegative) {
+    throw std::logic_error("connect: must connect a positive half to a negative half");
+  }
+  auto channel = std::make_shared<Channel>(positive_half, negative_half);
+  positive_half->attach_channel(channel);
+  negative_half->attach_channel(channel);
+  return channel;
+}
+
+void ComponentDefinition::disconnect(PortCore* a, PortCore* b) {
+  for (const auto& c : a->channels()) {
+    if ((c->positive_end() == a && c->negative_end() == b) ||
+        (c->positive_end() == b && c->negative_end() == a)) {
+      c->destroy();
+      return;
+    }
+  }
+  throw std::logic_error("disconnect: no channel between these ports");
+}
+
+}  // namespace kompics

@@ -1,0 +1,401 @@
+#pragma once
+
+// Components (paper §2.1): event-driven state machines that execute
+// concurrently and communicate asynchronously by message passing.
+//
+// Users subclass ComponentDefinition; the runtime wraps each instance in a
+// ComponentCore that owns its ports, its work queues, and its position in
+// the containment hierarchy. Handlers of one component are mutually
+// exclusive (§3): work is published to a lock-free MPSC queue and a
+// ready-state counter guarantees at most one worker executes a component at
+// any time.
+//
+// Life-cycle (§2.4): components are created passive; events received while
+// passive are parked and replayed on activation. If an Init handler was
+// subscribed in the constructor, every other event is parked until the
+// corresponding Init is handled.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "channel.hpp"
+#include "clock.hpp"
+#include "config.hpp"
+#include "event.hpp"
+#include "handler.hpp"
+#include "lifecycle.hpp"
+#include "mpsc_queue.hpp"
+#include "port.hpp"
+#include "port_type.hpp"
+
+namespace kompics {
+
+class Runtime;
+class ComponentDefinition;
+class ComponentCore;
+using ComponentCorePtr = std::shared_ptr<ComponentCore>;
+
+/// Handle to a (sub)component held by its creator — grants access to the
+/// child's outside port halves for connect() and life-cycle triggers.
+class Component {
+ public:
+  Component() = default;
+  explicit Component(ComponentCorePtr core) : core_(std::move(core)) {}
+
+  explicit operator bool() const { return core_ != nullptr; }
+  ComponentCore* core() const { return core_.get(); }
+  ComponentCorePtr core_ptr() const { return core_; }
+
+  /// The child's control port (outside half) — target for Init/Start/Stop.
+  PortCore* control() const;
+
+  /// Outside half of the child's provided port of type PT (`+` polarity).
+  template <class PT>
+  Positive<PT> provided() const;
+
+  /// Outside half of the child's required port of type PT (`-` polarity).
+  template <class PT>
+  Negative<PT> required() const;
+
+  /// Access the child's definition (tests, state transfer during §2.6
+  /// reconfiguration). D must be the concrete definition type.
+  template <class D>
+  D& definition_as() const;
+
+ private:
+  ComponentCorePtr core_;
+};
+
+class ComponentCore : public std::enable_shared_from_this<ComponentCore> {
+ public:
+  /// A unit of work: one event to be handled on one port half.
+  struct WorkItem {
+    std::atomic<WorkItem*> next{nullptr};
+    EventPtr event;
+    PortCore* half = nullptr;
+    bool control = false;
+  };
+
+  ComponentCore(Runtime* runtime, ComponentCore* parent, std::uint64_t id);
+  ~ComponentCore();
+
+  ComponentCore(const ComponentCore&) = delete;
+  ComponentCore& operator=(const ComponentCore&) = delete;
+
+  // ---- identity / hierarchy -------------------------------------------
+  std::uint64_t id() const { return id_; }
+  Runtime* runtime() const { return runtime_; }
+  ComponentCore* parent() const { return parent_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  void set_definition(std::unique_ptr<ComponentDefinition> def);
+  ComponentDefinition* definition() const { return definition_.get(); }
+
+  void add_child(ComponentCorePtr child);
+  void remove_child(ComponentCore* child);
+  std::vector<ComponentCorePtr> children() const;
+
+  // ---- ports -----------------------------------------------------------
+  /// Declares a provided/required port of the given type. At most one port
+  /// per (type, kind) per component, as in the Java runtime.
+  PortPair* declare_port(const PortType* type, std::type_index tid, bool provided);
+  PortPair* find_port(std::type_index tid, bool provided) const;
+
+  struct PortInfo {
+    std::type_index tid;
+    bool provided;
+    PortPair* pair;
+  };
+  std::vector<PortInfo> declared_ports() const;
+
+  PortCore* control_inside() const { return control_->inside.get(); }
+  PortCore* control_outside() const { return control_->outside.get(); }
+
+  // ---- execution -------------------------------------------------------
+  /// Publishes one unit of work; schedules the component on the idle->ready
+  /// transition. Callable from any thread.
+  void enqueue_work(const EventPtr& e, PortCore* half, bool control);
+
+  /// Executes exactly one unit of work (paper §3: one event per scheduling
+  /// round) and re-schedules itself if more work is pending.
+  void execute();
+
+  LifecycleState state() const { return state_.load(std::memory_order_acquire); }
+  bool needs_init() const { return needs_init_.load(std::memory_order_acquire); }
+  void mark_needs_init() { needs_init_.store(true, std::memory_order_release); }
+
+  /// Tears down this component and its subtree: detaches every channel,
+  /// marks everything destroyed, drains parked work.
+  void destroy_tree();
+
+  /// §2.6 replacement support: destroys this component but forwards its
+  /// still-queued application events onto the matching ports of `successor`
+  /// instead of dropping them. (Control/life-cycle events are dropped;
+  /// events addressed to ports of this component's children are dropped
+  /// with the children.)
+  void retire_into(ComponentCorePtr successor);
+
+  /// Called (thread-safely) by a child that finished its stop protocol.
+  void child_stopped();
+  /// Called (thread-safely) by a child that finished its start protocol.
+  void child_started();
+
+  RngStream& rng() { return rng_; }
+
+  /// Number of work units currently counted against this component.
+  std::int64_t work_count() const { return work_count_.load(std::memory_order_acquire); }
+
+ private:
+  friend class ComponentDefinition;
+
+  void bump(std::int64_t k);     // add k ready units; schedule on 0 -> k
+  void complete_one();           // finish a unit; re-schedule if more remain
+  WorkItem* next_item();         // pop respecting init/passive gating
+  void run_item(WorkItem* item);
+  void builtin_lifecycle_event(const Event& e);
+  void begin_stop();
+  void emit_stopped();
+  void begin_start();
+  void emit_started();
+  void escalate_fault(std::exception_ptr error);
+  void flush_init_deferred();
+  void flush_passive_deferred();
+  void drain_all_queues();
+  void park(WorkItem* item, bool to_control);
+
+  Runtime* runtime_;
+  ComponentCore* parent_;
+  std::uint64_t id_;
+  std::string name_;
+  RngStream rng_;
+
+  std::unique_ptr<ComponentDefinition> definition_;
+  std::unique_ptr<PortPair> control_;
+
+  mutable std::mutex structure_mu_;
+  std::vector<ComponentCorePtr> children_;
+  struct DeclaredPort {
+    std::type_index tid;
+    bool provided;
+    std::unique_ptr<PortPair> pair;
+  };
+  std::vector<DeclaredPort> ports_;
+
+  // Execution machinery. work_count_ counts schedulable units; the 0->N
+  // transition enqueues the component with the scheduler, so at most one
+  // worker executes it at a time (single-consumer discipline for the MPSC
+  // queues and the deques below).
+  std::atomic<std::int64_t> work_count_{0};
+  MpscQueue<WorkItem> control_q_;
+  MpscQueue<WorkItem> normal_q_;
+  std::deque<WorkItem*> replay_control_;    // consumer-only
+  std::deque<WorkItem*> replay_normal_;     // consumer-only
+  std::deque<WorkItem*> parked_control_;    // waiting for Init
+  std::deque<WorkItem*> parked_normal_;     // waiting for Start
+  std::atomic<LifecycleState> state_{LifecycleState::kPassive};
+  std::atomic<bool> needs_init_{false};
+  bool init_done_ = false;  // consumer-only
+  std::atomic<int> stop_pending_{0};   // children yet to confirm Stopped
+  std::atomic<int> start_pending_{0};  // children yet to confirm Started
+  ComponentCorePtr forward_to_;        // §2.6 retire target (under structure_mu_)
+};
+
+/// Base class for user components. Constructors run with the owning
+/// ComponentCore installed, so they may declare ports, subscribe handlers,
+/// create children, and connect channels — exactly the operations of
+/// paper §2.2.
+class ComponentDefinition {
+ public:
+  virtual ~ComponentDefinition() = default;
+
+  ComponentDefinition(const ComponentDefinition&) = delete;
+  ComponentDefinition& operator=(const ComponentDefinition&) = delete;
+
+ protected:
+  ComponentDefinition();
+
+  // ---- ports -----------------------------------------------------------
+  template <class PT>
+  Negative<PT> provide() {
+    auto* pair = core_->declare_port(&port_type<PT>(), std::type_index(typeid(PT)), true);
+    return Negative<PT>{pair->inside.get()};
+  }
+
+  template <class PT>
+  Positive<PT> require() {
+    auto* pair = core_->declare_port(&port_type<PT>(), std::type_index(typeid(PT)), false);
+    return Positive<PT>{pair->inside.get()};
+  }
+
+  /// Own control port (inside half) — subscribe Init/Start/Stop handlers
+  /// here; Fault events are triggered on it by the runtime.
+  PortCore* control() const { return core_->control_inside(); }
+
+  // ---- subscriptions (§2.1, §2.2) ---------------------------------------
+  template <class E>
+  SubscriptionRef subscribe(const Handler<E>& h, PortCore* half) {
+    return subscribe_impl<E>(half, [&h](const E& e) { h(e); });
+  }
+  template <class E, class PT>
+  SubscriptionRef subscribe(const Handler<E>& h, Positive<PT> p) {
+    return subscribe(h, p.core);
+  }
+  template <class E, class PT>
+  SubscriptionRef subscribe(const Handler<E>& h, Negative<PT> p) {
+    return subscribe(h, p.core);
+  }
+
+  /// Inline-lambda form: subscribe<EventType>(port, [this](const E&) {...}).
+  template <class E, class F>
+  SubscriptionRef subscribe(PortCore* half, F&& fn) {
+    return subscribe_impl<E>(half, std::forward<F>(fn));
+  }
+  template <class E, class PT, class F>
+  SubscriptionRef subscribe(Positive<PT> p, F&& fn) {
+    return subscribe_impl<E>(p.core, std::forward<F>(fn));
+  }
+  template <class E, class PT, class F>
+  SubscriptionRef subscribe(Negative<PT> p, F&& fn) {
+    return subscribe_impl<E>(p.core, std::forward<F>(fn));
+  }
+
+  void unsubscribe(const SubscriptionRef& s) {
+    if (s != nullptr && s->half != nullptr) s->half->remove_subscription(s);
+  }
+
+  // ---- event triggering (§2.2) ------------------------------------------
+  void trigger(const EventPtr& e, PortCore* half) { half->trigger(e); }
+  template <class PT>
+  void trigger(const EventPtr& e, Positive<PT> p) {
+    p.core->trigger(e);
+  }
+  template <class PT>
+  void trigger(const EventPtr& e, Negative<PT> p) {
+    p.core->trigger(e);
+  }
+
+  // ---- children & channels (§2.1, §2.2) ----------------------------------
+  /// Defined in kompics.hpp (needs Runtime): creates a subcomponent.
+  template <class Def, class... Args>
+  Component create(Args&&... args);
+
+  /// Destroys a subcomponent and its subtree.
+  void destroy(Component& child) {
+    if (child.core() != nullptr) {
+      child.core()->destroy_tree();
+      core_->remove_child(child.core());
+      child = Component{};
+    }
+  }
+
+  /// Connects a positive half to a negative half of the same port type.
+  ChannelRef connect(PortCore* positive_half, PortCore* negative_half);
+  template <class PT>
+  ChannelRef connect(Positive<PT> p, Negative<PT> n) {
+    return connect(p.core, n.core);
+  }
+  template <class PT>
+  ChannelRef connect(Negative<PT> n, Positive<PT> p) {
+    return connect(p.core, n.core);
+  }
+
+  void disconnect(const ChannelRef& c) {
+    if (c != nullptr) c->destroy();
+  }
+
+  /// §2.6 replacement recipe: holds and unplugs every channel connected to
+  /// `old`'s (non-control) outside ports, passivates `old`, creates the
+  /// replacement, re-plugs the channels into the matching ports of the new
+  /// component and resumes them (flushing everything queued while held),
+  /// then initializes/activates the new component and destroys the old one.
+  /// `init_event` (may be null) typically carries state dumped from `old` —
+  /// read it via old.definition_as<OldDef>() *before* calling replace.
+  /// Defined in kompics.hpp.
+  template <class NewDef, class... Args>
+  Component replace(Component& old, const EventPtr& init_event, Args&&... ctor_args);
+  /// Finds and destroys the channel between two halves.
+  void disconnect(PortCore* a, PortCore* b);
+  template <class PT>
+  void disconnect(Positive<PT> p, Negative<PT> n) {
+    disconnect(p.core, n.core);
+  }
+
+  // ---- context -----------------------------------------------------------
+  const Config& config() const;
+  TimeMs now() const;
+
+  /// The shared handle of the event currently being handled — lets a
+  /// handler forward the event it received without copying (events are
+  /// immutable and shared, §2.1). Only valid inside a handler.
+  const EventPtr& current_event() const { return current_event_; }
+  template <class E>
+  std::shared_ptr<const E> current_event_as() const {
+    return std::static_pointer_cast<const E>(current_event_);
+  }
+
+  RngStream& rng() { return core_->rng(); }
+  Runtime& runtime() const { return *core_->runtime(); }
+  ComponentCore& core() const { return *core_; }
+  std::uint64_t id() const { return core_->id(); }
+
+ private:
+  template <class E, class F>
+  SubscriptionRef subscribe_impl(PortCore* half, F&& fn) {
+    static_assert(std::is_base_of_v<Event, E>, "E must derive from kompics::Event");
+    auto sub = std::make_shared<Subscription>();
+    sub->subscriber = core_;
+    sub->half = half;
+    sub->accepts = [](const Event& e) { return event_is<E>(e); };
+    sub->invoke = [f = std::function<void(const E&)>(std::forward<F>(fn))](const Event& e) {
+      f(event_as<E>(e));
+    };
+    // Init-first guarantee (§2.4): subscribing a handler for an Init
+    // subtype on the own control port defers all other events until Init.
+    if constexpr (std::is_base_of_v<Init, E>) {
+      if (half == core_->control_inside() && !in_handler_) core_->mark_needs_init();
+    }
+    half->add_subscription(sub);
+    return sub;
+  }
+
+  friend class ComponentCore;
+  ComponentCore* core_;
+  bool in_handler_ = false;   // set by ComponentCore while running handlers
+  EventPtr current_event_;    // set by ComponentCore while running handlers
+};
+
+// ---- Component handle templates -----------------------------------------
+
+template <class PT>
+Positive<PT> Component::provided() const {
+  PortPair* p = core_->find_port(std::type_index(typeid(PT)), /*provided=*/true);
+  if (p == nullptr) throw std::logic_error("component does not provide this port type");
+  return Positive<PT>{p->outside.get()};
+}
+
+template <class PT>
+Negative<PT> Component::required() const {
+  PortPair* p = core_->find_port(std::type_index(typeid(PT)), /*provided=*/false);
+  if (p == nullptr) throw std::logic_error("component does not require this port type");
+  return Negative<PT>{p->outside.get()};
+}
+
+template <class D>
+D& Component::definition_as() const {
+  auto* d = dynamic_cast<D*>(core_->definition());
+  if (d == nullptr) throw std::logic_error("definition type mismatch");
+  return *d;
+}
+
+inline PortCore* Component::control() const { return core_->control_outside(); }
+
+}  // namespace kompics

@@ -1,0 +1,54 @@
+#pragma once
+
+// Runtime configuration passed to every component (deploy-time composition,
+// paper §3). A small typed key-value store: strings, integers, doubles,
+// booleans. Components read configuration through their context instead of
+// globals so the same component code runs under any runtime.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+namespace kompics {
+
+class Config {
+ public:
+  using Value = std::variant<std::string, std::int64_t, double, bool>;
+
+  Config() = default;
+
+  Config& set(std::string key, Value value) {
+    values_[std::move(key)] = std::move(value);
+    return *this;
+  }
+
+  bool contains(const std::string& key) const { return values_.count(key) != 0; }
+
+  template <class T>
+  std::optional<T> get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    if (const T* v = std::get_if<T>(&it->second)) return *v;
+    return std::nullopt;
+  }
+
+  template <class T>
+  T get_or(const std::string& key, T fallback) const {
+    if (auto v = get<T>(key)) return *v;
+    return fallback;
+  }
+
+  template <class T>
+  T require_value(const std::string& key) const {
+    if (auto v = get<T>(key)) return *v;
+    throw std::out_of_range("missing or mistyped config key: " + key);
+  }
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+}  // namespace kompics

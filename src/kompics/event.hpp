@@ -1,0 +1,53 @@
+#pragma once
+
+// Events are the unit of communication in Kompics (paper §2.1): passive,
+// immutable, typed objects. Subtyping of events maps onto C++ inheritance
+// from kompics::Event; handler and port-type matching use RTTI, which is the
+// C++ equivalent of the Java implementation's class-hierarchy checks.
+
+#include <memory>
+#include <type_traits>
+
+namespace kompics {
+
+/// Root of the event type hierarchy. All events are immutable once
+/// published: they are shared between every subscriber via
+/// std::shared_ptr<const Event>, so implementations must not expose
+/// mutable state.
+class Event {
+ public:
+  virtual ~Event() = default;
+
+ protected:
+  Event() = default;
+  Event(const Event&) = default;
+  Event& operator=(const Event&) = default;
+};
+
+/// Shared, immutable handle to a published event.
+using EventPtr = std::shared_ptr<const Event>;
+
+/// Constructs an event of concrete type E and returns an immutable handle.
+template <class E, class... Args>
+EventPtr make_event(Args&&... args) {
+  static_assert(std::is_base_of_v<Event, E>, "E must derive from kompics::Event");
+  return std::make_shared<const E>(std::forward<Args>(args)...);
+}
+
+/// True when the dynamic type of `e` is E or a subtype of E.
+template <class E>
+bool event_is(const Event& e) {
+  if constexpr (std::is_same_v<E, Event>) {
+    return true;
+  } else {
+    return dynamic_cast<const E*>(&e) != nullptr;
+  }
+}
+
+/// Downcast helper used after a successful event_is / accepts check.
+template <class E>
+const E& event_as(const Event& e) {
+  return static_cast<const E&>(e);
+}
+
+}  // namespace kompics

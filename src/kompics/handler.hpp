@@ -1,0 +1,57 @@
+#pragma once
+
+// Event handlers (paper §2.1): first-class procedures of a component. A
+// handler accepts events of a particular type (and subtypes) and runs
+// reactively when such an event arrives on a port it is subscribed to.
+// Handlers of one component instance are mutually exclusive — the runtime
+// never executes two handlers of the same component concurrently — so
+// handlers may freely mutate component-local state.
+
+#include <functional>
+#include <memory>
+
+#include "event.hpp"
+
+namespace kompics {
+
+class ComponentCore;
+class PortCore;
+
+/// Typed, first-class handler. Declared as a component member:
+///
+///   Handler<Message> handle_msg{[this](const Message& m) { ++messages_; }};
+///
+/// and attached with subscribe(handle_msg, port).
+template <class E>
+class Handler {
+ public:
+  using Fn = std::function<void(const E&)>;
+
+  Handler() = default;
+  explicit Handler(Fn fn) : fn_(std::move(fn)) {}
+  Handler& operator=(Fn fn) {
+    fn_ = std::move(fn);
+    return *this;
+  }
+
+  void operator()(const E& e) const { fn_(e); }
+  bool valid() const { return static_cast<bool>(fn_); }
+
+ private:
+  Fn fn_;
+};
+
+/// Runtime representation of one subscription: binds an accepting predicate
+/// and an invoker to (subscriber component, port half). Created by
+/// ComponentDefinition::subscribe and kept alive by the port.
+struct Subscription {
+  ComponentCore* subscriber = nullptr;
+  PortCore* half = nullptr;
+  std::function<bool(const Event&)> accepts;
+  std::function<void(const Event&)> invoke;
+  bool active = true;
+};
+
+using SubscriptionRef = std::shared_ptr<Subscription>;
+
+}  // namespace kompics

@@ -1,0 +1,91 @@
+#pragma once
+
+// Component life-cycle (paper §2.4) and fault management (§2.5).
+//
+// Every component implicitly provides a Control port. Parents trigger Init /
+// Start / Stop on a child's control port; the child may subscribe handlers
+// for them. Faults escaping a handler are wrapped in a Fault event and
+// dispatched on the control port toward the parent (see fault.hpp).
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "event.hpp"
+#include "port_type.hpp"
+
+namespace kompics {
+
+/// Base type for component-specific initialization events. Subclass it to
+/// carry configuration parameters; an Init handler subscribed in the
+/// component constructor guarantees that Init is handled before any other
+/// event (paper §2.4).
+class Init : public Event {
+ public:
+  Init() = default;
+};
+
+/// Activates a component (and, recursively, its subcomponents).
+class Start : public Event {};
+
+/// Confirmation that a component — and its entire subtree — has processed
+/// Start and is active. The dual of Stopped; lets orchestration code know
+/// when a freshly created subtree is fully operational.
+class Started : public Event {};
+
+/// Passivates a component (and, recursively, its subcomponents).
+class Stop : public Event {};
+
+/// Confirmation that a component — and its entire subtree — has processed
+/// Stop and is passive (no handler of the subtree is running or will run).
+/// Emitted by the runtime on the component's control port; the §2.6
+/// replacement recipe waits for it before unplugging channels, which is what
+/// makes reconfiguration lose no events.
+class Stopped : public Event {};
+
+class ComponentCore;
+
+/// Wraps an exception that escaped an event handler (paper §2.5).
+class Fault : public Event {
+ public:
+  Fault(std::exception_ptr error, ComponentCore* source, std::string what)
+      : error_(std::move(error)), source_(source), what_(std::move(what)) {}
+
+  /// The original exception, rethrowable by a supervising parent.
+  const std::exception_ptr& error() const { return error_; }
+  /// The component whose handler faulted.
+  ComponentCore* source() const { return source_; }
+  /// Human-readable description of the fault.
+  const std::string& what() const { return what_; }
+
+ private:
+  std::exception_ptr error_;
+  ComponentCore* source_;
+  std::string what_;
+};
+
+/// The Control port type: Init/Start/Stop travel toward the component
+/// (negative direction); Fault travels out of it (positive direction).
+class ControlPort : public PortType {
+ public:
+  ControlPort() {
+    set_name("Control");
+    request<Init>();
+    request<Start>();
+    request<Stop>();
+    indication<Started>();
+    indication<Stopped>();
+    indication<Fault>();
+  }
+};
+
+/// Life-cycle states of a component (paper §2.4). Components are created
+/// Passive: events received while passive are queued and only executed once
+/// the component is activated by a Start event.
+enum class LifecycleState : std::uint8_t {
+  kPassive,
+  kActive,
+  kDestroyed,
+};
+
+}  // namespace kompics

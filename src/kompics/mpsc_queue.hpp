@@ -1,0 +1,78 @@
+#pragma once
+
+// Lock-free multi-producer single-consumer intrusive queue (Vyukov design).
+//
+// Used for per-component work queues (paper §3): any worker may publish work
+// to a component, but exactly one worker executes a component at a time (the
+// ready-state machine in ComponentCore guarantees single-consumer
+// discipline), which makes this reclamation-safe without hazard pointers.
+
+#include <atomic>
+
+namespace kompics {
+
+template <class Node>
+class MpscQueue {
+ public:
+  MpscQueue() : head_(&stub_), tail_(&stub_) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Multi-producer push. `Node` must have a `std::atomic<Node*> next`.
+  void push(Node* n) {
+    n->next.store(nullptr, std::memory_order_relaxed);
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  /// Single-consumer pop. Returns nullptr when empty. Callers gate pops on a
+  /// separate work counter; when the counter says an item exists, this pop
+  /// spins through the brief producer push window rather than losing it.
+  Node* pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) {
+        if (head_.load(std::memory_order_acquire) == &stub_) return nullptr;  // empty
+        next = spin_for_next(tail);  // push in flight
+      }
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    if (head_.load(std::memory_order_acquire) != tail) {
+      // Producer between exchange and next-store; its node is imminent.
+      tail_ = spin_for_next(tail);
+      return tail;
+    }
+    // Exactly one real node: re-insert the stub so it becomes poppable.
+    push(&stub_);
+    tail_ = spin_for_next(tail);
+    return tail;
+  }
+
+  /// Consumer-only emptiness check (approximate under concurrent pushes).
+  bool empty() const {
+    return tail_ == &stub_ && head_.load(std::memory_order_acquire) == &stub_;
+  }
+
+ private:
+  Node* spin_for_next(Node* n) {
+    Node* next;
+    do {
+      next = n->next.load(std::memory_order_acquire);
+    } while (next == nullptr);
+    return next;
+  }
+
+  alignas(64) std::atomic<Node*> head_;  // producers
+  alignas(64) Node* tail_;               // consumer only
+  Node stub_;
+};
+
+}  // namespace kompics

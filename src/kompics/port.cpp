@@ -1,0 +1,121 @@
+#include "port.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "channel.hpp"
+#include "component.hpp"
+#include "lifecycle.hpp"
+
+namespace kompics {
+
+void PortCore::trigger(const EventPtr& e) {
+  if (e == nullptr) throw std::invalid_argument("trigger: null event");
+  const Direction d = opposite(polarity_);
+  if (!type_->allows(d, *e)) {
+    throw std::logic_error("event type not allowed to pass on port '" + type_->name() +
+                           "' in the triggered direction");
+  }
+  pair_->arrive(e, d);
+}
+
+void PortCore::arrive(const EventPtr& e, Direction d) {
+  if (polarity_ == d) dispatch(e);
+  for (const auto& c : channels()) c->forward(e, d, this);
+}
+
+void PortCore::deliver_from_channel(const EventPtr& e, Direction d) {
+  if (polarity_ == d) dispatch(e);
+  pair_->arrive(e, d);
+}
+
+std::size_t PortCore::dispatch(const EventPtr& e) {
+  // Collect the distinct subscriber components with at least one accepting
+  // handler; enqueue one work unit per subscriber. At execution time the
+  // subscriber re-matches against its then-current subscriptions, which
+  // gives the paper's semantics for subscribe/unsubscribe during handling.
+  std::size_t matches = 0;
+  std::vector<ComponentCore*> targets;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& s : subs_) {
+      if (!s->active || !s->accepts(*e)) continue;
+      ++matches;
+      if (std::find(targets.begin(), targets.end(), s->subscriber) == targets.end()) {
+        targets.push_back(s->subscriber);
+      }
+    }
+  }
+  const bool control = dynamic_cast<const ControlPort*>(type_) != nullptr;
+  // Life-cycle events must reach the owning component even without user
+  // handlers: the built-in activation/passivation logic (§2.4) runs after
+  // user handlers, so the owner always gets a work unit for them.
+  if (control && inside_ &&
+      (event_is<Init>(*e) || event_is<Start>(*e) || event_is<Stop>(*e)) &&
+      std::find(targets.begin(), targets.end(), owner_) == targets.end()) {
+    targets.push_back(owner_);
+  }
+  for (ComponentCore* t : targets) t->enqueue_work(e, this, control);
+  return matches;
+}
+
+bool PortCore::has_match(const Event& e) const {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& s : subs_) {
+    if (s->active && s->accepts(e)) return true;
+  }
+  return false;
+}
+
+void PortCore::add_subscription(const SubscriptionRef& s) {
+  std::lock_guard<std::mutex> g(mu_);
+  subs_.push_back(s);
+}
+
+void PortCore::remove_subscription(const SubscriptionRef& s) {
+  std::lock_guard<std::mutex> g(mu_);
+  s->active = false;
+  subs_.erase(std::remove(subs_.begin(), subs_.end(), s), subs_.end());
+}
+
+std::vector<SubscriptionRef> PortCore::matching_subscriptions(ComponentCore* subscriber,
+                                                              const Event& e) const {
+  std::vector<SubscriptionRef> out;
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& s : subs_) {
+    if (s->active && s->subscriber == subscriber && s->accepts(e)) out.push_back(s);
+  }
+  return out;
+}
+
+void PortCore::attach_channel(const ChannelRef& c) {
+  std::lock_guard<std::mutex> g(mu_);
+  channels_.push_back(c);
+}
+
+void PortCore::detach_channel(const Channel* c) {
+  std::lock_guard<std::mutex> g(mu_);
+  channels_.erase(std::remove_if(channels_.begin(), channels_.end(),
+                                 [c](const ChannelRef& r) { return r.get() == c; }),
+                  channels_.end());
+}
+
+std::vector<ChannelRef> PortCore::channels() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return channels_;
+}
+
+PortPair::PortPair(ComponentCore* owner, const PortType* type, bool provided_)
+    : provided(provided_) {
+  // Provided port: requests (negative) flow toward the component, so the
+  // inside half has negative polarity; the outside half is positive.
+  // Required port: the dual.
+  const Direction inside_pol = provided_ ? Direction::kNegative : Direction::kPositive;
+  inside = std::make_unique<PortCore>(owner, type, inside_pol, /*inside=*/true);
+  outside = std::make_unique<PortCore>(owner, type, opposite(inside_pol), /*inside=*/false);
+  inside->link_pair(outside.get());
+  outside->link_pair(inside.get());
+}
+
+}  // namespace kompics

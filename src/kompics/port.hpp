@@ -1,0 +1,136 @@
+#pragma once
+
+// Ports (paper §2.1) are bidirectional, event-based component interfaces.
+//
+// Each port declared on a component is a *pair* of halves with opposite
+// polarities, exactly as in the Java runtime:
+//
+//   - provide<PT>() creates the pair {inside: negative, outside: positive}
+//     and hands the component the inside (negative) half — the component
+//     receives requests and triggers indications through it.
+//   - require<PT>() creates {inside: positive, outside: negative} — the
+//     component receives indications and triggers requests.
+//
+// Event propagation rule (DESIGN.md §2.2). For trigger(e, H):
+//   d := opposite(polarity(H));   e "arrives" at H.pair.
+// When an event with direction d arrives at half A:
+//   1. if polarity(A) == d, dispatch e to A's subscriptions (grouped by
+//      subscriber component, enqueued on each subscriber's work queue);
+//   2. forward e into every channel attached to A; the channel delivers to
+//      the far half F (dispatching there iff polarity(F) == d), after which
+//      e arrives at F.pair — this realizes composite pass-through.
+// This one rule produces all behaviours in the paper: fan-out (Fig. 6),
+// sequential multi-handler dispatch (Fig. 7), hierarchical delivery
+// (Figs. 10-11), and no loop-back of an event to the component that
+// triggered it.
+
+#include <memory>
+#include <mutex>
+#include <typeindex>
+#include <vector>
+
+#include "event.hpp"
+#include "handler.hpp"
+#include "port_type.hpp"
+
+namespace kompics {
+
+class Channel;
+class ComponentCore;
+using ChannelRef = std::shared_ptr<Channel>;
+
+/// One half of a port pair. Owned by the declaring component; referenced by
+/// channels and typed handles.
+class PortCore {
+ public:
+  PortCore(ComponentCore* owner, const PortType* type, Direction polarity, bool inside)
+      : owner_(owner), type_(type), polarity_(polarity), inside_(inside) {}
+
+  PortCore(const PortCore&) = delete;
+  PortCore& operator=(const PortCore&) = delete;
+
+  ComponentCore* owner() const { return owner_; }
+  const PortType* type() const { return type_; }
+  Direction polarity() const { return polarity_; }
+  bool is_inside() const { return inside_; }
+  PortCore* pair() const { return pair_; }
+  void link_pair(PortCore* p) { pair_ = p; }
+
+  /// Identification of the declared port this half belongs to — used to map
+  /// queued work onto a replacement component's matching port (§2.6).
+  void set_port_id(std::type_index tid, bool provided) {
+    port_tid_ = tid;
+    port_provided_ = provided;
+  }
+  std::type_index port_tid() const { return port_tid_; }
+  bool port_provided() const { return port_provided_; }
+
+  /// Entry point used by ComponentDefinition::trigger.
+  void trigger(const EventPtr& e);
+
+  /// An event with direction d arrives at this half (rule step above).
+  void arrive(const EventPtr& e, Direction d);
+
+  /// Delivery from a channel: optional local dispatch, then arrival at pair.
+  void deliver_from_channel(const EventPtr& e, Direction d);
+
+  /// Dispatches e to matching subscriptions on this half; returns the number
+  /// of (subscriber, handler) matches. Used directly for fault escalation.
+  std::size_t dispatch(const EventPtr& e);
+
+  /// True if at least one active subscription on this half accepts e.
+  /// (Used for channel pruning, paper §2.3, and fault escalation, §2.5.)
+  bool has_match(const Event& e) const;
+
+  void add_subscription(const SubscriptionRef& s);
+  void remove_subscription(const SubscriptionRef& s);
+
+  /// Snapshot of the active subscriptions held by `subscriber` — taken at
+  /// execution time so that (un)subscribe during handling behaves as in the
+  /// paper (a handler that unsubscribes itself still finishes the current
+  /// event, but handles no further ones).
+  std::vector<SubscriptionRef> matching_subscriptions(ComponentCore* subscriber,
+                                                      const Event& e) const;
+
+  void attach_channel(const ChannelRef& c);
+  void detach_channel(const Channel* c);
+  std::vector<ChannelRef> channels() const;
+
+ private:
+  ComponentCore* owner_;
+  const PortType* type_;
+  Direction polarity_;
+  bool inside_;
+  PortCore* pair_ = nullptr;
+  std::type_index port_tid_{typeid(void)};
+  bool port_provided_ = false;
+
+  mutable std::mutex mu_;
+  std::vector<SubscriptionRef> subs_;
+  std::vector<ChannelRef> channels_;
+};
+
+/// A declared port: the linked pair of halves.
+struct PortPair {
+  PortPair(ComponentCore* owner, const PortType* type, bool provided);
+
+  std::unique_ptr<PortCore> inside;
+  std::unique_ptr<PortCore> outside;
+  bool provided;
+};
+
+/// Typed handles. Positive<PT> is a half through which the holder receives
+/// positive (indication) events: the handle a component gets from
+/// require<PT>(), and the handle the environment gets for a child's
+/// *provided* port. Negative<PT> is the dual.
+template <class PT>
+struct Positive {
+  PortCore* core = nullptr;
+};
+
+template <class PT>
+struct Negative {
+  PortCore* core = nullptr;
+};
+
+}  // namespace kompics

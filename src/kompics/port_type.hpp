@@ -1,0 +1,97 @@
+#pragma once
+
+// Port types (paper §2.1): a port type names two sets of event types — the
+// "positive" set (indications/responses) and the "negative" set (requests) —
+// that may traverse a port in each direction. A concrete port type derives
+// from PortType and declares its sets in the constructor:
+//
+//   class Network : public PortType {
+//    public:
+//     Network() { positive<Message>(); negative<Message>(); }
+//   };
+//
+// Port type instances are singletons obtained via port_type<Network>(), used
+// by the runtime for fast dynamic event filtering (mirroring the Java
+// implementation's singleton port-type objects).
+
+#include <functional>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "event.hpp"
+
+namespace kompics {
+
+/// Direction of travel of an event through a port.
+enum class Direction : unsigned char {
+  kPositive,  ///< indications / responses
+  kNegative,  ///< requests
+};
+
+constexpr Direction opposite(Direction d) {
+  return d == Direction::kPositive ? Direction::kNegative : Direction::kPositive;
+}
+
+class PortType {
+ public:
+  virtual ~PortType() = default;
+
+  /// True when an event of e's dynamic type may pass in direction d.
+  bool allows(Direction d, const Event& e) const {
+    const auto& set = d == Direction::kPositive ? positive_ : negative_;
+    for (const auto& entry : set) {
+      if (entry.check(e)) return true;
+    }
+    return false;
+  }
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  PortType() = default;
+
+  /// Declares that events of type E (and subtypes) pass in the `+` direction.
+  template <class E>
+  void positive() {
+    positive_.push_back({[](const Event& e) { return event_is<E>(e); }, typeid(E).name()});
+  }
+
+  /// Declares that events of type E (and subtypes) pass in the `-` direction.
+  template <class E>
+  void negative() {
+    negative_.push_back({[](const Event& e) { return event_is<E>(e); }, typeid(E).name()});
+  }
+
+  /// Paper synonym: indications travel in the positive direction.
+  template <class E>
+  void indication() {
+    positive<E>();
+  }
+
+  /// Paper synonym: requests travel in the negative direction.
+  template <class E>
+  void request() {
+    negative<E>();
+  }
+
+  void set_name(std::string n) { name_ = std::move(n); }
+
+ private:
+  struct Entry {
+    std::function<bool(const Event&)> check;
+    const char* type_name;
+  };
+  std::vector<Entry> positive_;
+  std::vector<Entry> negative_;
+  std::string name_{"port"};
+};
+
+/// Singleton accessor for a port type (one shared instance per PT).
+template <class PT>
+const PT& port_type() {
+  static const PT instance{};
+  return instance;
+}
+
+}  // namespace kompics

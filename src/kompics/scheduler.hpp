@@ -1,0 +1,31 @@
+#pragma once
+
+// Scheduler abstraction (paper §3): Kompics decouples component behaviour
+// from component execution. The same component code runs under the
+// multi-core work-stealing scheduler (production) or the single-threaded
+// deterministic simulation scheduler — only the Scheduler implementation
+// changes.
+
+#include <memory>
+
+namespace kompics {
+
+class ComponentCore;
+using ComponentCorePtr = std::shared_ptr<ComponentCore>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called exactly once per idle->ready transition of a component. The
+  /// scheduler must eventually call ComponentCore::execute on it.
+  virtual void schedule(ComponentCorePtr component) = 0;
+
+  /// Starts worker threads (no-op for single-threaded schedulers).
+  virtual void start() = 0;
+
+  /// Stops accepting work and joins workers.
+  virtual void shutdown() = 0;
+};
+
+}  // namespace kompics

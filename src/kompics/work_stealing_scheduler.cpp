@@ -1,0 +1,173 @@
+#include "work_stealing_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "component.hpp"
+
+namespace kompics {
+
+namespace {
+// Identifies the worker the current thread belongs to (and its scheduler),
+// so schedule() from inside a handler pushes to the local ready queue.
+struct WorkerIdentity {
+  const void* scheduler = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerIdentity tl_identity;
+}  // namespace
+
+WorkStealingScheduler::WorkStealingScheduler(Options options) : options_(options) {
+  std::size_t n = options_.workers;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+}
+
+WorkStealingScheduler::~WorkStealingScheduler() { shutdown(); }
+
+void WorkStealingScheduler::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  stop_.store(false, std::memory_order_release);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_main(i); });
+  }
+}
+
+void WorkStealingScheduler::shutdown() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> g(sleep_mu_);
+    sleep_cv_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void WorkStealingScheduler::schedule(ComponentCorePtr component) {
+  std::size_t target;
+  if (tl_identity.scheduler == this) {
+    target = tl_identity.index;
+  } else {
+    target = round_robin_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  }
+  push_to(target, std::move(component));
+  wake_one();
+}
+
+void WorkStealingScheduler::push_to(std::size_t index, ComponentCorePtr c) {
+  Worker& w = *workers_[index];
+  std::lock_guard<std::mutex> g(w.mu);
+  w.queue.push_back(std::move(c));
+  w.size.store(w.queue.size(), std::memory_order_release);
+}
+
+ComponentCorePtr WorkStealingScheduler::pop_local(Worker& w) {
+  std::lock_guard<std::mutex> g(w.mu);
+  if (w.queue.empty()) return nullptr;
+  ComponentCorePtr c = std::move(w.queue.front());
+  w.queue.pop_front();
+  w.size.store(w.queue.size(), std::memory_order_release);
+  return c;
+}
+
+ComponentCorePtr WorkStealingScheduler::try_steal(std::size_t self) {
+  if (!options_.stealing) return nullptr;
+  // Victim selection (paper §3): the worker with the highest number of
+  // ready components.
+  std::size_t victim = self;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (i == self) continue;
+    const std::size_t s = workers_[i]->size.load(std::memory_order_acquire);
+    if (s > best) {
+      best = s;
+      victim = i;
+    }
+  }
+  if (victim == self || best == 0) return nullptr;
+
+  Worker& v = *workers_[victim];
+  Worker& me = *workers_[self];
+  std::vector<ComponentCorePtr> batch;
+  {
+    std::lock_guard<std::mutex> g(v.mu);
+    if (v.queue.empty()) return nullptr;
+    // Steal a batch of half the victim's ready components (§3), from the
+    // back so the victim keeps its oldest (FIFO-fair) work.
+    std::size_t n = std::max(options_.min_steal, v.queue.size() / options_.steal_divisor);
+    n = std::min(n, v.queue.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(v.queue.back()));
+      v.queue.pop_back();
+    }
+    v.size.store(v.queue.size(), std::memory_order_release);
+  }
+  if (batch.empty()) return nullptr;
+  ComponentCorePtr first = std::move(batch.back());
+  batch.pop_back();
+  if (!batch.empty()) {
+    std::lock_guard<std::mutex> g(me.mu);
+    for (auto& c : batch) me.queue.push_back(std::move(c));
+    me.size.store(me.queue.size(), std::memory_order_release);
+  }
+  ++me.steals;
+  me.stolen += batch.size() + 1;
+  return first;
+}
+
+void WorkStealingScheduler::wake_one() {
+  if (sleepers_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> g(sleep_mu_);
+    sleep_cv_.notify_one();
+  }
+}
+
+void WorkStealingScheduler::worker_main(std::size_t index) {
+  tl_identity = WorkerIdentity{this, index};
+  Worker& me = *workers_[index];
+  int spins = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    ComponentCorePtr c = pop_local(me);
+    if (c == nullptr) c = try_steal(index);
+    if (c != nullptr) {
+      spins = 0;
+      c->execute();
+      ++me.executed;
+      continue;
+    }
+    if (++spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park until new work is scheduled anywhere.
+    ++me.parks;
+    sleepers_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [this, &me] {
+        return stop_.load(std::memory_order_acquire) ||
+               me.size.load(std::memory_order_acquire) > 0;
+      });
+    }
+    sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+    spins = 0;
+  }
+  tl_identity = WorkerIdentity{};
+}
+
+WorkStealingScheduler::Stats WorkStealingScheduler::stats() const {
+  Stats s;
+  for (const auto& w : workers_) {
+    s.executed += w->executed;
+    s.steals += w->steals;
+    s.stolen_components += w->stolen;
+    s.parks += w->parks;
+  }
+  return s;
+}
+
+}  // namespace kompics

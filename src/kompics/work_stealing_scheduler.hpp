@@ -1,0 +1,84 @@
+#pragma once
+
+// Multi-core component scheduler (paper §3): a pool of worker threads, each
+// with a dedicated queue of ready components. A worker that runs out of
+// ready components becomes a thief: it picks the victim with the most ready
+// components and steals a batch of half of them ("batching shows a
+// considerable performance improvement over stealing small numbers of ready
+// components"). Components' own work queues are lock-free MPSC queues; the
+// ready-state machine in ComponentCore guarantees a component is never
+// executed by two workers at once.
+//
+// The steal batch fraction and stealing itself are configurable so the A1
+// ablation bench can reproduce the paper's batching claim.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "scheduler.hpp"
+
+namespace kompics {
+
+class WorkStealingScheduler final : public Scheduler {
+ public:
+  struct Options {
+    std::size_t workers = 0;         ///< 0 = hardware concurrency
+    bool stealing = true;            ///< disable for the A1 ablation
+    std::size_t steal_divisor = 2;   ///< steal size = victim_size / divisor
+    std::size_t min_steal = 1;
+  };
+
+  WorkStealingScheduler() : WorkStealingScheduler(Options{}) {}
+  explicit WorkStealingScheduler(Options options);
+  ~WorkStealingScheduler() override;
+
+  void schedule(ComponentCorePtr component) override;
+  void start() override;
+  void shutdown() override;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  struct Stats {
+    std::uint64_t executed = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t stolen_components = 0;
+    std::uint64_t parks = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Worker {
+    mutable std::mutex mu;
+    std::deque<ComponentCorePtr> queue;
+    std::atomic<std::size_t> size{0};
+    std::thread thread;
+    std::uint64_t executed = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t stolen = 0;
+    std::uint64_t parks = 0;
+  };
+
+  void worker_main(std::size_t index);
+  ComponentCorePtr pop_local(Worker& w);
+  ComponentCorePtr try_steal(std::size_t self);
+  void push_to(std::size_t index, ComponentCorePtr c);
+  void wake_one();
+
+  Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::size_t> round_robin_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> sleepers_{0};
+};
+
+}  // namespace kompics

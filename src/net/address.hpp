@@ -1,0 +1,74 @@
+#pragma once
+
+// Network addresses. A node is identified by (host, port); for in-process
+// and simulated deployments `host` is simply a node number. Matches the
+// paper's Message events which carry source and destination Addresses.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/buffer.hpp"
+
+namespace kompics::net {
+
+struct Address {
+  std::uint32_t host = 0;  ///< IPv4 in host byte order, or a node id
+  std::uint16_t port = 0;
+
+  constexpr bool operator==(const Address& o) const { return host == o.host && port == o.port; }
+  constexpr bool operator!=(const Address& o) const { return !(*this == o); }
+  constexpr bool operator<(const Address& o) const {
+    return host != o.host ? host < o.host : port < o.port;
+  }
+
+  constexpr bool valid() const { return host != 0 || port != 0; }
+
+  /// Packs (host, port) into one comparable 64-bit key.
+  constexpr std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(host) << 16) | port;
+  }
+
+  std::string to_string() const {
+    return std::to_string((host >> 24) & 0xff) + "." + std::to_string((host >> 16) & 0xff) + "." +
+           std::to_string((host >> 8) & 0xff) + "." + std::to_string(host & 0xff) + ":" +
+           std::to_string(port);
+  }
+
+  /// Node-id style formatting for simulated deployments.
+  std::string to_node_string() const {
+    return "node-" + std::to_string(host) + ":" + std::to_string(port);
+  }
+
+  static Address loopback(std::uint16_t port) { return Address{0x7f000001u, port}; }
+  /// Simulated node address: host is the node number.
+  static constexpr Address node(std::uint32_t id, std::uint16_t port = 1) {
+    return Address{id, port};
+  }
+
+  void write(BufferWriter& w) const {
+    w.u32(host);
+    w.u16(port);
+  }
+  static Address read(BufferReader& r) {
+    Address a;
+    a.host = r.u32();
+    a.port = r.u16();
+    return a;
+  }
+};
+
+struct AddressHash {
+  std::size_t operator()(const Address& a) const {
+    return std::hash<std::uint64_t>{}(a.key() * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+}  // namespace kompics::net
+
+template <>
+struct std::hash<kompics::net::Address> {
+  std::size_t operator()(const kompics::net::Address& a) const {
+    return kompics::net::AddressHash{}(a);
+  }
+};

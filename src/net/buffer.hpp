@@ -1,0 +1,182 @@
+#pragma once
+
+// Growable byte buffer with a writer/reader interface: the wire format
+// substrate for message serialization (paper §3 — the Java implementation
+// delegated to Kryo; we hand-roll the equivalent).
+//
+// Encoding: fixed-width little-endian for u8/u16/u32/u64, LEB128 varints
+// (with zig-zag for signed), length-prefixed byte strings.
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kompics::net {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class BufferWriter {
+ public:
+  explicit BufferWriter(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  /// LEB128 variable-length unsigned integer.
+  void var_u64(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Zig-zag + LEB128 signed integer.
+  void var_i64(std::int64_t v) {
+    var_u64((static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void bytes(const std::uint8_t* data, std::size_t n) {
+    var_u64(n);
+    out_.insert(out_.end(), data, data + n);
+  }
+  void bytes(const Bytes& b) { bytes(b.data(), b.size()); }
+
+  void str(const std::string& s) {
+    bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+  /// Raw append without length prefix (framing layers).
+  void raw(const std::uint8_t* data, std::size_t n) { out_.insert(out_.end(), data, data + n); }
+
+  std::size_t size() const { return out_.size(); }
+
+  /// Patches a previously written u32 at `offset` (length back-fill).
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    if (offset + 4 > out_.size()) throw std::out_of_range("patch_u32 out of range");
+    for (int i = 0; i < 4; ++i) out_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+
+ private:
+  Bytes& out_;
+};
+
+class BufferReader {
+ public:
+  BufferReader(const std::uint8_t* data, std::size_t n) : data_(data), size_(n) {}
+  explicit BufferReader(const Bytes& b) : BufferReader(b.data(), b.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                      static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::uint64_t var_u64() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      need(1);
+      const std::uint8_t b = data_[pos_++];
+      if (shift >= 64) throw std::runtime_error("varint overflow");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  std::int64_t var_i64() {
+    const std::uint64_t z = var_u64();
+    return static_cast<std::int64_t>(z >> 1) ^ -static_cast<std::int64_t>(z & 1);
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  bool boolean() { return u8() != 0; }
+
+  Bytes bytes() {
+    const std::uint64_t n = var_u64();
+    need(n);
+    Bytes b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+  std::string str() {
+    const std::uint64_t n = var_u64();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t position() const { return pos_; }
+  const std::uint8_t* cursor() const { return data_ + pos_; }
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (pos_ + n > size_) throw std::runtime_error("buffer underflow");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace kompics::net

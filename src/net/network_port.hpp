@@ -1,0 +1,68 @@
+#pragma once
+
+// The Network abstraction (paper §2.1): a port type that accepts Message
+// events at the sending node (negative direction) and delivers Message
+// events at the receiving node (positive direction). Providers include
+// TcpNetwork (kernel sockets), LoopbackNetwork (in-process multi-node), and
+// the simulation driver's NetworkEmulator — all interchangeable behind this
+// port, which is exactly the pluggable-NIO-framework property of §1/§3.
+
+#include <memory>
+
+#include "kompics/event.hpp"
+#include "kompics/port_type.hpp"
+#include "net/address.hpp"
+
+namespace kompics::net {
+
+/// Base class of all network messages. Immutable, carries source and
+/// destination addresses as in the paper's example:
+///   class Message extends Event { Address source; Address destination; }
+class Message : public Event {
+ public:
+  Message(Address source, Address destination) : source_(source), destination_(destination) {}
+
+  const Address& source() const { return source_; }
+  const Address& destination() const { return destination_; }
+
+ private:
+  Address source_;
+  Address destination_;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Network port type: Message passes in both directions.
+class Network : public PortType {
+ public:
+  Network() {
+    set_name("Network");
+    positive<Message>();
+    negative<Message>();
+  }
+};
+
+/// Status indication delivered by network providers when a send could not
+/// be completed (connection refused, peer closed, serialization failure).
+class SendFailed : public Event {
+ public:
+  SendFailed(MessagePtr message, std::string reason)
+      : message_(std::move(message)), reason_(std::move(reason)) {}
+  const MessagePtr& message() const { return message_; }
+  const std::string& reason() const { return reason_; }
+
+ private:
+  MessagePtr message_;
+  std::string reason_;
+};
+
+/// Extended network port for providers that report delivery failures.
+class NetworkControl : public PortType {
+ public:
+  NetworkControl() {
+    set_name("NetworkControl");
+    positive<SendFailed>();
+  }
+};
+
+}  // namespace kompics::net

@@ -1,0 +1,127 @@
+#pragma once
+
+// Message serialization registry (paper §3: "each of these components
+// implements automatic connection management, message serialization, and
+// Zlib compression"; the Java implementation used Kryo — we hand-roll the
+// equivalent).
+//
+// Each concrete Message subtype registers a numeric wire id plus encode /
+// decode functions. The registry then turns any registered message into a
+// self-describing byte string and back:
+//
+//   [var_u64 wire id][source address][destination address][payload...]
+//
+// Registration is usually done once at startup via the helper macro:
+//
+//   KOMPICS_REGISTER_MESSAGE(MyMsg, 17, encodeFn, decodeFn);
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <typeindex>
+#include <unordered_map>
+
+#include "net/address.hpp"
+#include "net/buffer.hpp"
+#include "net/network_port.hpp"
+
+namespace kompics::net {
+
+class SerializationRegistry {
+ public:
+  using Encode = std::function<void(const Message&, BufferWriter&)>;
+  /// Decoders receive the already-parsed addresses plus the payload reader.
+  using Decode = std::function<MessagePtr(BufferReader&, Address src, Address dst)>;
+
+  static SerializationRegistry& instance() {
+    static SerializationRegistry registry;
+    return registry;
+  }
+
+  template <class T>
+  void register_message(std::uint64_t wire_id, Encode encode, Decode decode) {
+    static_assert(std::is_base_of_v<Message, T>, "T must derive from net::Message");
+    std::lock_guard<std::mutex> g(mu_);
+    if (by_id_.count(wire_id) != 0) {
+      // Idempotent re-registration of the same type is fine (static init in
+      // multiple translation units); clashing types on one id are a bug.
+      if (id_by_type_.count(std::type_index(typeid(T))) != 0 &&
+          id_by_type_.at(std::type_index(typeid(T))) == wire_id) {
+        return;
+      }
+      throw std::logic_error("wire id already registered: " + std::to_string(wire_id));
+    }
+    by_id_[wire_id] = Entry{std::move(encode), std::move(decode)};
+    id_by_type_[std::type_index(typeid(T))] = wire_id;
+  }
+
+  /// Serializes a registered message (dynamic type lookup).
+  void serialize(const Message& m, Bytes& out) const {
+    std::uint64_t id;
+    const Entry* entry;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      auto it = id_by_type_.find(std::type_index(typeid(m)));
+      if (it == id_by_type_.end()) {
+        throw std::logic_error(std::string("message type not registered: ") + typeid(m).name());
+      }
+      id = it->second;
+      entry = &by_id_.at(id);
+    }
+    BufferWriter w(out);
+    w.var_u64(id);
+    m.source().write(w);
+    m.destination().write(w);
+    entry->encode(m, w);
+  }
+
+  MessagePtr deserialize(BufferReader& r) const {
+    const std::uint64_t id = r.var_u64();
+    const Entry* entry;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      auto it = by_id_.find(id);
+      if (it == by_id_.end()) {
+        throw std::runtime_error("unknown wire id: " + std::to_string(id));
+      }
+      entry = &it->second;
+    }
+    const Address src = Address::read(r);
+    const Address dst = Address::read(r);
+    return entry->decode(r, src, dst);
+  }
+
+  MessagePtr deserialize(const Bytes& data) const {
+    BufferReader r(data);
+    return deserialize(r);
+  }
+
+  bool is_registered(const Message& m) const {
+    std::lock_guard<std::mutex> g(mu_);
+    return id_by_type_.count(std::type_index(typeid(m))) != 0;
+  }
+
+ private:
+  struct Entry {
+    Encode encode;
+    Decode decode;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> by_id_;
+  std::unordered_map<std::type_index, std::uint64_t> id_by_type_;
+};
+
+/// Static-initialization helper: expands to a one-time registration.
+#define KOMPICS_REGISTER_MESSAGE(Type, WireId, EncodeFn, DecodeFn)                       \
+  namespace {                                                                            \
+  const bool kompics_reg_##Type = [] {                                                   \
+    ::kompics::net::SerializationRegistry::instance().register_message<Type>(           \
+        (WireId), (EncodeFn), (DecodeFn));                                               \
+    return true;                                                                         \
+  }();                                                                                   \
+  }
+
+}  // namespace kompics::net

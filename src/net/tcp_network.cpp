@@ -1,0 +1,400 @@
+#include "net/tcp_network.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/compression.hpp"
+#include "net/serialization.hpp"
+
+namespace kompics::net {
+
+namespace {
+
+constexpr std::uint8_t kFlagCompressed = 0x01;
+constexpr std::size_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpNetwork::TcpNetwork() {
+  subscribe<Init>(control(), [this](const Init& init) { boot(init.self, init.options); });
+  subscribe<Stop>(control(), [this](const Stop&) { shutdown_io(); });
+  subscribe<Message>(network_, [this](const Message& m) { post_send(m); });
+}
+
+TcpNetwork::~TcpNetwork() { shutdown_io(); }
+
+void TcpNetwork::boot(Address self, const Options& opts) {
+  self_ = self;
+  options_ = opts;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(self.host);
+  addr.sin_port = htons(self.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind() failed for " + self.to_string() + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen() failed");
+  }
+  set_nonblocking(listen_fd_);
+
+  epoll_fd_ = ::epoll_create1(0);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  io_stop_.store(false);
+  io_running_.store(true);
+  io_thread_ = std::thread([this] { io_main(); });
+}
+
+void TcpNetwork::shutdown_io() {
+  if (!io_running_.exchange(false)) return;
+  io_stop_.store(true);
+  wake_io();
+  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  out_by_peer_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+}
+
+void TcpNetwork::wake_io() {
+  if (wake_fd_ >= 0) {
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+Bytes TcpNetwork::frame_message(const Message& m, bool* failed) {
+  *failed = false;
+  Bytes body;
+  try {
+    SerializationRegistry::instance().serialize(m, body);
+  } catch (const std::exception& e) {
+    *failed = true;
+    trigger(make_event<SendFailed>(current_event_as<Message>(), e.what()), netctl_);
+    return {};
+  }
+  std::uint8_t flags = 0;
+  if (options_.compress && body.size() >= options_.compress_threshold) {
+    Bytes packed;
+    kz::compress(body, packed);
+    if (packed.size() < body.size()) {
+      body = std::move(packed);
+      flags = kFlagCompressed;
+    }
+  }
+  Bytes frame;
+  frame.reserve(body.size() + 5);
+  BufferWriter w(frame);
+  w.u32(static_cast<std::uint32_t>(body.size() + 1));
+  w.u8(flags);
+  w.raw(body.data(), body.size());
+  return frame;
+}
+
+void TcpNetwork::post_send(const Message& m) {
+  if (!io_running_.load(std::memory_order_acquire)) {
+    trigger(make_event<SendFailed>(current_event_as<Message>(), "network not started"), netctl_);
+    return;
+  }
+  bool failed = false;
+  Bytes frame = frame_message(m, &failed);
+  if (failed) {
+    std::lock_guard<std::mutex> g(counters_mu_);
+    ++counters_.send_failures;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> g(out_mu_);
+    pending_out_.emplace_back(m.destination(), std::move(frame));
+  }
+  wake_io();
+}
+
+// ---------------------------------------------------------------------------
+// I/O thread
+// ---------------------------------------------------------------------------
+
+void TcpNetwork::io_main() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!io_stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        io_handle_listener();
+      } else if (fd == wake_fd_) {
+        io_handle_wake();
+      } else {
+        io_handle_conn(fd, events[i].events);
+      }
+    }
+  }
+}
+
+void TcpNetwork::io_handle_listener() {
+  while (true) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) break;
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    Conn c;
+    c.fd = fd;
+    c.connected = true;
+    conns_[fd] = std::move(c);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    conns_[fd].registered = true;
+    std::lock_guard<std::mutex> g(counters_mu_);
+    ++counters_.connections_accepted;
+  }
+}
+
+void TcpNetwork::io_handle_wake() {
+  std::uint64_t buf;
+  while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+  }
+  io_process_outgoing_queue();
+}
+
+void TcpNetwork::io_process_outgoing_queue() {
+  std::vector<std::pair<Address, Bytes>> batch;
+  {
+    std::lock_guard<std::mutex> g(out_mu_);
+    batch.swap(pending_out_);
+  }
+  for (auto& [dest, frame] : batch) {
+    Conn& c = io_conn_for(dest);
+    if (c.fd < 0) {
+      trigger(make_event<SendFailed>(nullptr, "connect to " + dest.to_string() + " failed"),
+              netctl_);
+      std::lock_guard<std::mutex> g(counters_mu_);
+      ++counters_.send_failures;
+      continue;
+    }
+    c.outbox.push_back(std::move(frame));
+    if (c.connected) io_flush_writes(c);
+  }
+}
+
+TcpNetwork::Conn& TcpNetwork::io_conn_for(const Address& dest) {
+  static Conn invalid;
+  auto it = out_by_peer_.find(dest);
+  if (it != out_by_peer_.end()) return conns_[it->second];
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    invalid = Conn{};
+    return invalid;
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(dest.host);
+  addr.sin_port = htons(dest.port);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    invalid = Conn{};
+    return invalid;
+  }
+  Conn c;
+  c.fd = fd;
+  c.peer = dest;
+  c.connected = (rc == 0);
+  conns_[fd] = std::move(c);
+  out_by_peer_[dest] = fd;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  conns_[fd].registered = true;
+  {
+    std::lock_guard<std::mutex> g(counters_mu_);
+    ++counters_.connections_opened;
+  }
+  return conns_[fd];
+}
+
+void TcpNetwork::io_handle_conn(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    io_close_conn(fd, "peer error/hangup");
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (!c.connected) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        io_close_conn(fd, "connect failed");
+        return;
+      }
+      c.connected = true;
+    }
+    io_flush_writes(c);
+    if (conns_.count(fd) == 0) return;  // closed during flush
+  }
+  if ((events & EPOLLIN) != 0) io_read(c);
+}
+
+void TcpNetwork::io_flush_writes(Conn& c) {
+  while (!c.outbox.empty()) {
+    const Bytes& front = c.outbox.front();
+    const ssize_t n = ::send(c.fd, front.data() + c.out_offset, front.size() - c.out_offset,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      io_close_conn(c.fd, "send failed");
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> g(counters_mu_);
+      counters_.bytes_sent += static_cast<std::uint64_t>(n);
+    }
+    c.out_offset += static_cast<std::size_t>(n);
+    if (c.out_offset == front.size()) {
+      c.outbox.pop_front();
+      c.out_offset = 0;
+      std::lock_guard<std::mutex> g(counters_mu_);
+      ++counters_.messages_sent;
+    }
+  }
+  // Keep EPOLLOUT armed only while there is pending output.
+  epoll_event ev{};
+  ev.events = EPOLLIN | (c.outbox.empty() ? 0u : static_cast<std::uint32_t>(EPOLLOUT));
+  ev.data.fd = c.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void TcpNetwork::io_read(Conn& c) {
+  std::uint8_t buf[16 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      io_close_conn(c.fd, "peer closed");
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      io_close_conn(c.fd, "recv failed");
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> g(counters_mu_);
+      counters_.bytes_received += static_cast<std::uint64_t>(n);
+    }
+    c.inbox.insert(c.inbox.end(), buf, buf + n);
+    // Extract complete frames.
+    std::size_t pos = 0;
+    while (c.inbox.size() - pos >= 4) {
+      BufferReader header(c.inbox.data() + pos, 4);
+      const std::uint32_t frame_len = header.u32();
+      if (frame_len == 0 || frame_len > kMaxFrame) {
+        io_close_conn(c.fd, "bad frame length");
+        return;
+      }
+      if (c.inbox.size() - pos - 4 < frame_len) break;
+      const std::uint8_t* body = c.inbox.data() + pos + 4;
+      try {
+        const std::uint8_t flags = body[0];
+        MessagePtr msg;
+        if ((flags & kFlagCompressed) != 0) {
+          const Bytes plain = kz::decompress(body + 1, frame_len - 1);
+          msg = SerializationRegistry::instance().deserialize(plain);
+        } else {
+          BufferReader r(body + 1, frame_len - 1);
+          msg = SerializationRegistry::instance().deserialize(r);
+        }
+        {
+          std::lock_guard<std::mutex> g(counters_mu_);
+          ++counters_.messages_received;
+        }
+        trigger(msg, network_);
+      } catch (const std::exception& e) {
+        io_close_conn(c.fd, "frame decode failed");
+        return;
+      }
+      pos += 4 + frame_len;
+    }
+    if (pos > 0) c.inbox.erase(c.inbox.begin(), c.inbox.begin() + static_cast<long>(pos));
+  }
+}
+
+void TcpNetwork::io_close_conn(int fd, const char* reason) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  const Conn& c = it->second;
+  if (c.peer.valid()) {
+    out_by_peer_.erase(c.peer);
+    if (!c.outbox.empty()) {
+      trigger(make_event<SendFailed>(nullptr, std::string(reason) + " (" +
+                                                  std::to_string(c.outbox.size()) +
+                                                  " frames dropped)"),
+              netctl_);
+    }
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+TcpNetwork::Counters TcpNetwork::counters() const {
+  std::lock_guard<std::mutex> g(counters_mu_);
+  return counters_;
+}
+
+}  // namespace kompics::net

@@ -1,0 +1,76 @@
+#pragma once
+
+// Distributions for the experiment-scenario DSL (paper §4.4): constant,
+// uniform, exponential, and normal inter-arrival times / operand samples.
+// All sampling is driven by a seeded RngStream so scenarios replay exactly.
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <random>
+
+#include "kompics/clock.hpp"
+
+namespace kompics::sim {
+
+class Dist {
+ public:
+  /// Always `v`.
+  static Dist constant(double v) {
+    return Dist([v](RngStream&) { return v; });
+  }
+
+  /// Uniform real in [lo, hi].
+  static Dist uniform(double lo, double hi) {
+    return Dist([lo, hi](RngStream& rng) {
+      return std::uniform_real_distribution<double>(lo, hi)(rng.engine());
+    });
+  }
+
+  /// Uniform integer in [0, 2^bits) — the paper's `uniform(16)` operand
+  /// distribution for ring identifiers.
+  static Dist uniform_bits(int bits) {
+    const std::uint64_t bound = bits >= 64 ? ~0ull : (1ull << bits);
+    return Dist([bound](RngStream& rng) {
+      return static_cast<double>(bound == ~0ull ? rng.next_u64() : rng.next_below(bound));
+    });
+  }
+
+  /// Uniform integer in [lo, hi].
+  static Dist uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return Dist([lo, hi](RngStream& rng) {
+      return static_cast<double>(lo + rng.next_below(hi - lo + 1));
+    });
+  }
+
+  /// Exponential with the given mean (paper: exponential(2000) has mean 2s).
+  static Dist exponential(double mean) {
+    return Dist([mean](RngStream& rng) {
+      return std::exponential_distribution<double>(1.0 / mean)(rng.engine());
+    });
+  }
+
+  /// Normal(mean, stddev), truncated at zero (delays cannot be negative).
+  static Dist normal(double mean, double stddev) {
+    return Dist([mean, stddev](RngStream& rng) {
+      const double v = std::normal_distribution<double>(mean, stddev)(rng.engine());
+      return v < 0.0 ? 0.0 : v;
+    });
+  }
+
+  double sample(RngStream& rng) const { return fn_(rng); }
+  std::uint64_t sample_u64(RngStream& rng) const {
+    const double v = fn_(rng);
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+  }
+  DurationMs sample_ms(RngStream& rng) const {
+    const double v = fn_(rng);
+    return v <= 0.0 ? 0 : static_cast<DurationMs>(std::llround(v));
+  }
+
+ private:
+  explicit Dist(std::function<double(RngStream&)> fn) : fn_(std::move(fn)) {}
+  std::function<double(RngStream&)> fn_;
+};
+
+}  // namespace kompics::sim

@@ -1,0 +1,160 @@
+#pragma once
+
+// NetworkEmulator (paper §4.2): the simulated Network provider. Every
+// simulated node embeds one NetworkEmulator component; all instances share
+// a SimNetworkHub that models the network: per-message latency sampled from
+// a configurable distribution, probabilistic loss, and named partitions —
+// the "partially synchronous, lossy, partitionable" environment CATS is
+// specified for (§4).
+//
+// Determinism: latency/loss draws come from one seeded stream owned by the
+// hub, and delivery is ordered by the SimulatorCore's (time, sequence) key,
+// so a given seed replays the exact same run.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "kompics/component.hpp"
+#include "kompics/kompics.hpp"
+#include "net/address.hpp"
+#include "net/network_port.hpp"
+#include "sim/simulator_core.hpp"
+
+namespace kompics::sim {
+
+class NetworkEmulator;
+
+struct LinkModel {
+  DurationMs min_latency = 1;
+  DurationMs max_latency = 1;  ///< uniform in [min, max]
+  double loss = 0.0;           ///< iid drop probability
+  bool fifo = false;           ///< clamp delays so each (src,dst) link is FIFO
+};
+
+class SimNetworkHub {
+ public:
+  SimNetworkHub(SimulatorCore* core, std::uint64_t seed, LinkModel model = {})
+      : core_(core), rng_(seed), model_(model) {}
+
+  void attach(const net::Address& a, NetworkEmulator* node) { nodes_[a] = node; }
+  void detach(const net::Address& a) { nodes_.erase(a); }
+  bool attached(const net::Address& a) const { return nodes_.count(a) != 0; }
+  std::size_t size() const { return nodes_.size(); }
+
+  void set_model(LinkModel m) { model_ = m; }
+  const LinkModel& model() const { return model_; }
+
+  /// Splits hosts into partitions: nodes can talk only within their group.
+  /// Hosts not mentioned stay in group 0.
+  void partition(const std::vector<std::vector<std::uint32_t>>& groups) {
+    group_.clear();
+    int gid = 1;
+    for (const auto& g : groups) {
+      for (std::uint32_t host : g) group_[host] = gid;
+      ++gid;
+    }
+  }
+  void heal() { group_.clear(); }
+
+  void send(const net::MessagePtr& m);
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t unroutable = 0;
+    std::uint64_t partitioned = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool reachable(const net::Address& a, const net::Address& b) const {
+    if (group_.empty()) return true;
+    auto ga = group_.find(a.host);
+    auto gb = group_.find(b.host);
+    const int va = ga == group_.end() ? 0 : ga->second;
+    const int vb = gb == group_.end() ? 0 : gb->second;
+    return va == vb;
+  }
+
+  SimulatorCore* core_;
+  RngStream rng_;
+  LinkModel model_;
+  std::unordered_map<net::Address, NetworkEmulator*> nodes_;
+  std::unordered_map<std::uint32_t, int> group_;
+  std::unordered_map<std::uint64_t, TimeMs> last_delivery_;  // (src,dst) key -> time, for fifo
+  Stats stats_;
+};
+
+using SimNetworkHubPtr = std::shared_ptr<SimNetworkHub>;
+
+class NetworkEmulator : public ComponentDefinition {
+ public:
+  struct Init : kompics::Init {
+    Init(net::Address self, SimNetworkHubPtr hub) : self(self), hub(std::move(hub)) {}
+    net::Address self;
+    SimNetworkHubPtr hub;
+  };
+
+  NetworkEmulator() {
+    subscribe<Init>(control(), [this](const Init& init) {
+      self_ = init.self;
+      hub_ = init.hub;
+      hub_->attach(self_, this);
+    });
+    subscribe<Stop>(control(), [this](const Stop&) {
+      if (hub_ != nullptr) hub_->detach(self_);
+    });
+    subscribe<net::Message>(network_, [this](const net::Message&) {
+      hub_->send(current_event_as<net::Message>());
+    });
+  }
+
+  ~NetworkEmulator() override {
+    if (hub_ != nullptr && hub_->attached(self_)) hub_->detach(self_);
+  }
+
+  void deliver(const net::MessagePtr& m) { trigger(m, network_); }
+  const net::Address& self() const { return self_; }
+
+ private:
+  Negative<net::Network> network_ = provide<net::Network>();
+  net::Address self_;
+  SimNetworkHubPtr hub_;
+};
+
+inline void SimNetworkHub::send(const net::MessagePtr& m) {
+  ++stats_.sent;
+  if (!reachable(m->source(), m->destination())) {
+    ++stats_.partitioned;
+    return;
+  }
+  if (model_.loss > 0.0 && rng_.next_double() < model_.loss) {
+    ++stats_.lost;
+    return;
+  }
+  DurationMs delay = model_.min_latency;
+  if (model_.max_latency > model_.min_latency) {
+    delay += static_cast<DurationMs>(
+        rng_.next_below(static_cast<std::uint64_t>(model_.max_latency - model_.min_latency) + 1));
+  }
+  if (model_.fifo) {
+    const std::uint64_t link = m->source().key() * 0x1000003ULL ^ m->destination().key();
+    TimeMs& last = last_delivery_[link];
+    const TimeMs at = core_->now() + delay;
+    if (at < last) delay = last - core_->now();
+    last = core_->now() + delay;
+  }
+  core_->schedule(delay, [this, m] {
+    auto it = nodes_.find(m->destination());
+    if (it == nodes_.end()) {
+      ++stats_.unroutable;  // node failed/destroyed while in flight
+      return;
+    }
+    ++stats_.delivered;
+    it->second->deliver(m);
+  });
+}
+
+}  // namespace kompics::sim

@@ -1,0 +1,207 @@
+#include "sim/scenario.hpp"
+
+#include <chrono>
+#include <map>
+#include <queue>
+#include <thread>
+
+namespace kompics::sim {
+
+// Per-run execution state of one stochastic process.
+struct Scenario::ExecState {
+  const StochasticProcess* def = nullptr;
+  std::vector<std::size_t> remaining;  // per raise group
+  std::size_t total_remaining = 0;
+  bool started = false;
+  bool terminated = false;
+  std::vector<std::pair<DurationMs, ExecState*>> on_start;
+  std::vector<std::pair<DurationMs, ExecState*>> on_term;
+  bool is_terminator_anchor = false;
+  DurationMs terminator_delay = 0;
+};
+
+namespace {
+
+using StateMap = std::map<const StochasticProcess*, Scenario::ExecState>;
+
+/// Shared driver logic, parameterized over "schedule(delay, fn)" so the same
+/// composition semantics run in virtual time and in wall-clock time. All
+/// scheduled continuations hold a shared_ptr to the driver (and the driver
+/// holds the state map), so lifetimes outlive install().
+class ScenarioDriver : public std::enable_shared_from_this<ScenarioDriver> {
+ public:
+  using ScheduleFn = std::function<void(DurationMs, std::function<void()>)>;
+
+  ScenarioDriver(std::uint64_t seed, ScheduleFn schedule, std::function<void()> on_terminate,
+                 std::shared_ptr<StateMap> states)
+      : rng_(seed),
+        schedule_(std::move(schedule)),
+        on_terminate_(std::move(on_terminate)),
+        states_(std::move(states)) {}
+
+  void start_process(Scenario::ExecState* st) {
+    if (st->started) return;
+    st->started = true;
+    for (const auto& [delay, dep] : st->on_start) {
+      schedule_(delay, [self = shared_from_this(), dep] { self->start_process(dep); });
+    }
+    if (st->total_remaining == 0) {
+      terminate_process(st);
+      return;
+    }
+    schedule_fire(st);
+  }
+
+ private:
+  void schedule_fire(Scenario::ExecState* st) {
+    const DurationMs gap = st->def->inter_arrival_dist().sample_ms(rng_);
+    schedule_(gap, [self = shared_from_this(), st] { self->fire(st); });
+  }
+
+  void fire(Scenario::ExecState* st) {
+    // Pick a raise group weighted by remaining count: groups interleave
+    // randomly, matching the paper's churn example (500 joins randomly
+    // interleaved with 500 failures).
+    std::uint64_t pick = rng_.next_below(st->total_remaining);
+    std::size_t g = 0;
+    while (pick >= st->remaining[g]) {
+      pick -= st->remaining[g];
+      ++g;
+    }
+    st->def->groups()[g].fire(rng_);
+    --st->remaining[g];
+    --st->total_remaining;
+    if (st->total_remaining == 0) {
+      terminate_process(st);
+    } else {
+      schedule_fire(st);
+    }
+  }
+
+  void terminate_process(Scenario::ExecState* st) {
+    st->terminated = true;
+    for (const auto& [delay, dep] : st->on_term) {
+      schedule_(delay, [self = shared_from_this(), dep] { self->start_process(dep); });
+    }
+    if (st->is_terminator_anchor) {
+      schedule_(st->terminator_delay, [self = shared_from_this()] { self->on_terminate_(); });
+    }
+  }
+
+  RngStream rng_;
+  ScheduleFn schedule_;
+  std::function<void()> on_terminate_;
+  std::shared_ptr<StateMap> states_;  // keeps ExecState pointers valid
+};
+
+std::shared_ptr<StateMap> build_states(
+    const std::vector<ProcessRef>& processes,
+    const std::vector<std::tuple<DurationMs, ProcessRef, ProcessRef>>& start_rules,
+    const std::vector<std::tuple<DurationMs, ProcessRef, ProcessRef>>& term_rules,
+    bool has_terminator, const std::pair<DurationMs, ProcessRef>& terminator) {
+  auto states = std::make_shared<StateMap>();
+  for (const auto& p : processes) {
+    Scenario::ExecState st;
+    st.def = p.get();
+    for (const auto& g : p->groups()) {
+      st.remaining.push_back(g.count);
+      st.total_remaining += g.count;
+    }
+    (*states)[p.get()] = std::move(st);
+  }
+  for (const auto& [delay, prev, next] : start_rules) {
+    (*states)[prev.get()].on_start.push_back({delay, &(*states)[next.get()]});
+  }
+  for (const auto& [delay, prev, next] : term_rules) {
+    (*states)[prev.get()].on_term.push_back({delay, &(*states)[next.get()]});
+  }
+  if (has_terminator) {
+    auto& st = (*states)[terminator.second.get()];
+    st.is_terminator_anchor = true;
+    st.terminator_delay = terminator.first;
+  }
+  return states;
+}
+
+}  // namespace
+
+void Scenario::install(Simulation& sim) {
+  std::vector<std::tuple<DurationMs, ProcessRef, ProcessRef>> starts, terms;
+  for (const auto& r : start_rules_) starts.emplace_back(r.delay, r.prev, r.next);
+  for (const auto& r : term_rules_) terms.emplace_back(r.delay, r.prev, r.next);
+  auto states = build_states(processes_, starts, terms, has_terminator_, terminator_);
+
+  auto terminated = terminated_;
+  *terminated = false;
+  Simulation* simp = &sim;
+  auto driver = std::make_shared<ScenarioDriver>(
+      seed_,
+      [simp](DurationMs delay, std::function<void()> fn) {
+        simp->core().schedule(delay, std::move(fn));
+      },
+      [simp, terminated] {
+        *terminated = true;
+        simp->stop();
+      },
+      states);
+
+  for (const auto& root : roots_) {
+    ExecState* st = &(*states)[root.p.get()];
+    sim.core().schedule(root.at, [driver, st] { driver->start_process(st); });
+  }
+}
+
+void Scenario::run_realtime(double time_scale) {
+  // A tiny wall-clock discrete-event loop: same ScenarioDriver semantics,
+  // but "schedule" inserts into a local deadline queue and the calling
+  // thread sleeps until each deadline.
+  using WallClock = std::chrono::steady_clock;
+  struct Timed {
+    WallClock::time_point at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Timed& o) const { return at != o.at ? at > o.at : seq > o.seq; }
+  };
+  auto queue =
+      std::make_shared<std::priority_queue<Timed, std::vector<Timed>, std::greater<>>>();
+  auto seq = std::make_shared<std::uint64_t>(0);
+  auto done = std::make_shared<bool>(false);
+
+  std::vector<std::tuple<DurationMs, ProcessRef, ProcessRef>> starts, terms;
+  for (const auto& r : start_rules_) starts.emplace_back(r.delay, r.prev, r.next);
+  for (const auto& r : term_rules_) terms.emplace_back(r.delay, r.prev, r.next);
+  auto states = build_states(processes_, starts, terms, has_terminator_, terminator_);
+
+  auto terminated = terminated_;
+  *terminated = false;
+  auto driver = std::make_shared<ScenarioDriver>(
+      seed_,
+      [queue, seq, time_scale](DurationMs delay, std::function<void()> fn) {
+        const auto at = WallClock::now() + std::chrono::microseconds(static_cast<std::int64_t>(
+                                               static_cast<double>(delay) * 1000.0 * time_scale));
+        queue->push(Timed{at, (*seq)++, std::move(fn)});
+      },
+      [done, terminated] {
+        *terminated = true;
+        *done = true;
+      },
+      states);
+
+  for (const auto& root : roots_) {
+    ExecState* st = &(*states)[root.p.get()];
+    const auto at = WallClock::now() + std::chrono::microseconds(static_cast<std::int64_t>(
+                                           static_cast<double>(root.at) * 1000.0 * time_scale));
+    queue->push(Timed{at, (*seq)++, [driver, st] { driver->start_process(st); }});
+  }
+
+  while (!*done && !queue->empty()) {
+    Timed next = queue->top();
+    queue->pop();
+    auto fn = std::move(next.fn);
+    const auto at = next.at;
+    std::this_thread::sleep_until(at);
+    fn();
+  }
+}
+
+}  // namespace kompics::sim

@@ -1,0 +1,168 @@
+#pragma once
+
+// Experiment-scenario DSL (paper §4.4): a scenario is a parallel and/or
+// sequential composition of stochastic processes. Each process is a finite
+// random sequence of operations with a configurable inter-arrival-time
+// distribution; raise groups within one process interleave randomly
+// (the paper's churn process: 500 joins randomly interleaved with 500
+// failures). C++ rendering of the paper's Java DSL:
+//
+//   auto boot = scenario.process("boot")
+//       .inter_arrival(Dist::exponential(2000))
+//       .raise(1000, cats_join, Dist::uniform_bits(16));
+//   auto churn = ...;
+//   scenario.start(boot);
+//   scenario.start_after_termination_of(2000, boot, churn);
+//   scenario.start_after_start_of(3000, churn, lookups);
+//   scenario.terminate_after_termination_of(1000, lookups);
+//   scenario.run(simulation);            // deterministic, virtual time
+//   scenario.run_realtime(0.1);          // same scenario, wall-clock mode
+//
+// The same scenario object drives both the simulation architecture and the
+// local interactive execution architecture (paper Fig. 12 / §4.3).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/distributions.hpp"
+#include "sim/simulation.hpp"
+
+namespace kompics::sim {
+
+class Scenario;
+
+/// Builder for one stochastic process. Obtained from Scenario::process().
+class StochasticProcess {
+ public:
+  StochasticProcess& inter_arrival(Dist d) {
+    inter_ = std::move(d);
+    return *this;
+  }
+
+  /// Operation with no operands.
+  StochasticProcess& raise(std::size_t count, std::function<void()> op) {
+    groups_.push_back(Group{count, [op = std::move(op)](RngStream&) { op(); }});
+    return *this;
+  }
+
+  /// Operation with one sampled operand (paper's Operation1).
+  StochasticProcess& raise(std::size_t count, std::function<void(std::uint64_t)> op, Dist d1) {
+    groups_.push_back(Group{count, [op = std::move(op), d1 = std::move(d1)](RngStream& rng) {
+                              op(d1.sample_u64(rng));
+                            }});
+    return *this;
+  }
+
+  /// Operation with two sampled operands (paper's Operation2, e.g.
+  /// catsLookup(node, key)).
+  StochasticProcess& raise(std::size_t count,
+                           std::function<void(std::uint64_t, std::uint64_t)> op, Dist d1,
+                           Dist d2) {
+    groups_.push_back(
+        Group{count, [op = std::move(op), d1 = std::move(d1), d2 = std::move(d2)](RngStream& rng) {
+                op(d1.sample_u64(rng), d2.sample_u64(rng));
+              }});
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+  std::size_t total_events() const {
+    std::size_t n = 0;
+    for (const auto& g : groups_) n += g.count;
+    return n;
+  }
+
+  struct Group {
+    std::size_t count;
+    std::function<void(RngStream&)> fire;
+  };
+  const std::vector<Group>& groups() const { return groups_; }
+  const Dist& inter_arrival_dist() const { return inter_; }
+
+ private:
+  friend class Scenario;
+  explicit StochasticProcess(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  Dist inter_ = Dist::constant(0);
+  std::vector<Group> groups_;
+};
+
+using ProcessRef = std::shared_ptr<StochasticProcess>;
+
+class Scenario {
+ public:
+  explicit Scenario(std::uint64_t seed = 1) : seed_(seed) {}
+
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+
+  /// Creates a new (empty) stochastic process owned by this scenario.
+  ProcessRef process(std::string name) {
+    auto p = std::shared_ptr<StochasticProcess>(new StochasticProcess(std::move(name)));
+    processes_.push_back(p);
+    return p;
+  }
+
+  // ---- composition (paper §4.4) -------------------------------------------
+  void start(const ProcessRef& p) { start_at(0, p); }
+  void start_at(DurationMs at, const ProcessRef& p) { roots_.push_back({at, p}); }
+  void start_after_termination_of(DurationMs delay, const ProcessRef& prev,
+                                  const ProcessRef& next) {
+    term_rules_.push_back({delay, prev, next});
+  }
+  void start_after_start_of(DurationMs delay, const ProcessRef& prev, const ProcessRef& next) {
+    start_rules_.push_back({delay, prev, next});
+  }
+  /// The whole experiment terminates `delay` after `last` terminates.
+  void terminate_after_termination_of(DurationMs delay, const ProcessRef& last) {
+    terminator_ = {delay, last};
+    has_terminator_ = true;
+  }
+
+  // ---- execution ------------------------------------------------------------
+  /// Installs the scenario into a simulation (schedules the root processes)
+  /// without running it; combine with sim.run()/run_until() for stepped
+  /// control.
+  void install(Simulation& sim);
+
+  /// install + sim.run(). Returns virtual termination time.
+  TimeMs run(Simulation& sim) {
+    install(sim);
+    sim.run();
+    return sim.now();
+  }
+
+  /// Drives the same scenario against a real-time runtime (paper §4.3,
+  /// Fig. 12 right): the calling thread sleeps between operations.
+  /// `time_scale` < 1 compresses time (0.1 => 10x faster than specified).
+  void run_realtime(double time_scale = 1.0);
+
+  bool terminated() const { return *terminated_; }
+
+  struct ExecState;  // per-run process state (scenario.cpp)
+
+ private:
+  struct Rule {
+    DurationMs delay;
+    ProcessRef prev;
+    ProcessRef next;
+  };
+  struct Root {
+    DurationMs at;
+    ProcessRef p;
+  };
+
+  std::uint64_t seed_;
+  std::vector<ProcessRef> processes_;
+  std::vector<Root> roots_;
+  std::vector<Rule> term_rules_;
+  std::vector<Rule> start_rules_;
+  std::pair<DurationMs, ProcessRef> terminator_{0, nullptr};
+  bool has_terminator_ = false;
+  std::shared_ptr<bool> terminated_ = std::make_shared<bool>(false);
+};
+
+}  // namespace kompics::sim

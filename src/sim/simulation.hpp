@@ -1,0 +1,113 @@
+#pragma once
+
+// Deterministic simulation mode (paper §3, §4.2): the same component code
+// that runs under the multi-core scheduler is executed single-threaded in
+// virtual time. The SimScheduler keeps a FIFO of ready components; when it
+// drains, the Simulation advances the SimulatorCore to the next timed
+// action (timer expiry, emulated message delivery, scenario operation),
+// which makes new components ready, and so on — a classic discrete-event
+// main loop wrapped around the unmodified component runtime.
+
+#include <deque>
+#include <memory>
+
+#include "kompics/kompics.hpp"
+#include "kompics/scheduler.hpp"
+#include "sim/simulator_core.hpp"
+
+namespace kompics::sim {
+
+/// Single-threaded FIFO scheduler for reproducible simulation (paper §3:
+/// "a special scheduler for reproducible system simulation").
+class SimScheduler final : public Scheduler {
+ public:
+  void schedule(ComponentCorePtr component) override { ready_.push_back(std::move(component)); }
+  void start() override {}
+  void shutdown() override { ready_.clear(); }
+
+  /// Executes ready components until none remain. Returns the number of
+  /// work units executed.
+  std::uint64_t drain() {
+    std::uint64_t n = 0;
+    while (!ready_.empty()) {
+      ComponentCorePtr c = std::move(ready_.front());
+      ready_.pop_front();
+      c->execute();
+      ++n;
+    }
+    return n;
+  }
+
+  bool idle() const { return ready_.empty(); }
+
+ private:
+  std::deque<ComponentCorePtr> ready_;
+};
+
+/// A complete simulated world: runtime + virtual clock + event queue.
+class Simulation {
+ public:
+  explicit Simulation(Config config = {}, std::uint64_t seed = 1) {
+    auto scheduler = std::make_unique<SimScheduler>();
+    scheduler_ = scheduler.get();
+    runtime_ = std::make_unique<Runtime>(std::move(config), std::move(scheduler),
+                                         std::make_unique<SimClock>(&core_), seed);
+  }
+
+  Runtime& runtime() { return *runtime_; }
+  SimulatorCore& core() { return core_; }
+  TimeMs now() const { return core_.now(); }
+
+  template <class Main, class... Args>
+  Component bootstrap(Args&&... args) {
+    return runtime_->bootstrap<Main>(std::forward<Args>(args)...);
+  }
+
+  /// Runs until no component work and no timed actions remain, or stop().
+  /// Returns the number of component work units executed.
+  std::uint64_t run() {
+    std::uint64_t executed = 0;
+    stopped_ = false;
+    while (!stopped_) {
+      executed += scheduler_->drain();
+      if (stopped_ || !core_.advance_one()) break;
+      core_.count_execution();
+    }
+    executed += scheduler_->drain();
+    return executed;
+  }
+
+  /// Runs until virtual time reaches `t` (executes every action with
+  /// timestamp <= t; the clock then stands at exactly t). Returns false if
+  /// the simulation ran dry earlier.
+  bool run_until(TimeMs t) {
+    stopped_ = false;
+    while (!stopped_) {
+      scheduler_->drain();
+      const TimeMs next = core_.next_time();
+      if (next < 0) {
+        core_.advance_to(t);
+        return false;
+      }
+      if (next > t) {
+        core_.advance_to(t);
+        return true;
+      }
+      core_.advance_one();
+      core_.count_execution();
+    }
+    return true;
+  }
+
+  /// Stops the main loop from inside a handler/action.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+ private:
+  SimulatorCore core_;
+  SimScheduler* scheduler_ = nullptr;  // owned by runtime_
+  std::unique_ptr<Runtime> runtime_;
+  bool stopped_ = false;
+};
+
+}  // namespace kompics::sim

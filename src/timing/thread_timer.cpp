@@ -1,0 +1,85 @@
+#include "timing/thread_timer.hpp"
+
+#include <chrono>
+
+#include "kompics/kompics.hpp"
+
+namespace kompics::timing {
+
+ThreadTimer::ThreadTimer() {
+  subscribe<ScheduleTimeout>(timer_, [this](const ScheduleTimeout& st) {
+    arm(st.delay_ms(), -1, st.payload());
+  });
+  subscribe<SchedulePeriodicTimeout>(timer_, [this](const SchedulePeriodicTimeout& st) {
+    arm(st.initial_delay_ms(), st.period_ms(), st.payload());
+  });
+  subscribe<CancelTimeout>(timer_, [this](const CancelTimeout& ct) {
+    std::lock_guard<std::mutex> g(mu_);
+    cancelled_.insert(ct.id());
+  });
+  subscribe<Start>(control(), [this](const Start&) { ensure_thread(); });
+  subscribe<Stop>(control(), [this](const Stop&) { stop_thread(); });
+}
+
+ThreadTimer::~ThreadTimer() { stop_thread(); }
+
+void ThreadTimer::arm(std::int64_t delay_ms, std::int64_t period_ms, TimeoutPtr payload) {
+  ensure_thread();
+  std::lock_guard<std::mutex> g(mu_);
+  heap_.push(Entry{now() + std::max<std::int64_t>(0, delay_ms), seq_++, std::move(payload),
+                   period_ms});
+  cv_.notify_one();
+}
+
+void ThreadTimer::ensure_thread() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (thread_running_) return;
+  stop_ = false;
+  thread_running_ = true;
+  thread_ = std::thread([this] { timer_main(); });
+}
+
+void ThreadTimer::stop_thread() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!thread_running_) return;
+    stop_ = true;
+    thread_running_ = false;
+    cv_.notify_all();
+    to_join = std::move(thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+}
+
+void ThreadTimer::timer_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (heap_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !heap_.empty(); });
+      continue;
+    }
+    const std::int64_t wake = heap_.top().deadline_ms;
+    const std::int64_t current = now();
+    if (current < wake) {
+      cv_.wait_for(lock, std::chrono::milliseconds(wake - current));
+      continue;
+    }
+    Entry e = heap_.top();
+    heap_.pop();
+    if (cancelled_.count(e.payload->id()) != 0) {
+      cancelled_.erase(e.payload->id());  // consumed; periodic entries are not re-armed
+      continue;
+    }
+    if (e.period_ms >= 0) {
+      heap_.push(Entry{e.deadline_ms + std::max<std::int64_t>(1, e.period_ms), seq_++, e.payload,
+                       e.period_ms});
+    }
+    TimeoutPtr payload = e.payload;
+    lock.unlock();
+    trigger(payload, timer_);  // thread-safe: publishes to subscriber queues
+    lock.lock();
+  }
+}
+
+}  // namespace kompics::timing

@@ -1,0 +1,55 @@
+#pragma once
+
+// ThreadTimer: the production Timer provider (the paper's "JavaTimer").
+// A dedicated thread sleeps on a min-heap of deadlines and triggers the
+// scheduled Timeout events back through the provided Timer port. Periodic
+// timeouts re-arm themselves until cancelled.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "kompics/component.hpp"
+#include "timing/timer_port.hpp"
+
+namespace kompics::timing {
+
+class ThreadTimer : public ComponentDefinition {
+ public:
+  ThreadTimer();
+  ~ThreadTimer() override;
+
+ private:
+  struct Entry {
+    std::int64_t deadline_ms;  // wall clock (runtime clock domain)
+    std::uint64_t seq;         // tie-breaker for deterministic ordering
+    TimeoutPtr payload;
+    std::int64_t period_ms;  // <0 for one-shot
+    bool operator>(const Entry& other) const {
+      return deadline_ms != other.deadline_ms ? deadline_ms > other.deadline_ms
+                                              : seq > other.seq;
+    }
+  };
+
+  void timer_main();
+  void arm(std::int64_t delay_ms, std::int64_t period_ms, TimeoutPtr payload);
+  void ensure_thread();
+  void stop_thread();
+
+  Negative<Timer> timer_ = provide<Timer>();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<TimeoutId> cancelled_;
+  std::uint64_t seq_ = 0;
+  bool stop_ = false;
+  bool thread_running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace kompics::timing

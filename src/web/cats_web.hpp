@@ -1,0 +1,85 @@
+#pragma once
+
+// CatsWebApp (Fig. 10/11's "CATS Web Application"): provides the Web
+// abstraction for one CATS node — an HTML page dumping the status of the
+// node's components, with hyperlinks to its ring neighbors, "enabling
+// users/developers to browse the set of nodes over the web and inspect the
+// state of each remote node" (§4.1).
+//
+// The app keeps a periodically refreshed cache of StatusResponses (its
+// required Status port is connected to every functional component of the
+// node) and serves pages from the cache, so HTTP worker threads never wait
+// on protocol components.
+
+#include <map>
+#include <string>
+
+#include "cats/ports.hpp"
+#include "kompics/component.hpp"
+#include "kompics/kompics.hpp"
+#include "timing/timer_port.hpp"
+#include "web/web_port.hpp"
+
+namespace kompics::web {
+
+class CatsWebApp : public ComponentDefinition {
+ public:
+  struct Init : kompics::Init {
+    Init(cats::NodeRef self, DurationMs refresh_ms = 1000) : self(self), refresh_ms(refresh_ms) {}
+    cats::NodeRef self;
+    DurationMs refresh_ms;
+  };
+
+  CatsWebApp() {
+    subscribe<Init>(control(), [this](const Init& init) {
+      self_ = init.self;
+      refresh_ms_ = init.refresh_ms;
+    });
+    subscribe<Start>(control(), [this](const Start&) {
+      trigger(timing::schedule_periodic<Refresh>(1, refresh_ms_), timer_);
+    });
+    subscribe<Refresh>(timer_, [this](const Refresh&) {
+      ++round_;
+      trigger(make_event<cats::StatusRequest>(round_), status_);
+    });
+    subscribe<cats::StatusResponse>(status_, [this](const cats::StatusResponse& resp) {
+      cache_[resp.component] = resp.fields;
+    });
+    subscribe<WebRequest>(web_, [this](const WebRequest& req) {
+      trigger(make_event<WebResponse>(req.id, 200, "text/html", render(req.path)), web_);
+    });
+  }
+
+  std::string render(const std::string& path) const {
+    std::string html = "<html><head><title>CATS node " +
+                       std::to_string(self_.addr.host) + "</title></head><body>";
+    html += "<h1>CATS node " + self_.addr.to_node_string() + "</h1>";
+    html += "<p>ring key: " + cats::ring_key_str(self_.key) + "</p>";
+    html += "<p>path: " + path + "</p>";
+    for (const auto& [component, fields] : cache_) {
+      html += "<h2>" + component + "</h2><table border=1>";
+      for (const auto& [k, v] : fields) {
+        html += "<tr><td>" + k + "</td><td>" + v + "</td></tr>";
+      }
+      html += "</table>";
+    }
+    html += "</body></html>";
+    return html;
+  }
+
+ private:
+  struct Refresh : timing::Timeout {
+    using Timeout::Timeout;
+  };
+
+  Negative<Web> web_ = provide<Web>();
+  Positive<cats::Status> status_ = require<cats::Status>();
+  Positive<timing::Timer> timer_ = require<timing::Timer>();
+
+  cats::NodeRef self_;
+  DurationMs refresh_ms_ = 1000;
+  cats::OpId round_ = 0;
+  std::map<std::string, std::map<std::string, std::string>> cache_;
+};
+
+}  // namespace kompics::web

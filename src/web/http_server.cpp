@@ -1,0 +1,143 @@
+#include "web/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace kompics::web {
+
+HttpServer::HttpServer() {
+  subscribe<Init>(control(), [this](const Init& init) {
+    listen_ = init.listen;
+    request_timeout_ms_ = init.request_timeout_ms;
+  });
+  subscribe<Start>(control(), [this](const Start&) { boot(); });
+  subscribe<Stop>(control(), [this](const Stop&) { stop_accepting(); });
+
+  subscribe<WebResponse>(web_, [this](const WebResponse& resp) {
+    std::shared_ptr<PendingResponse> p;
+    {
+      std::lock_guard<std::mutex> g(pending_mu_);
+      auto it = pending_.find(resp.id);
+      if (it == pending_.end()) return;  // request already timed out
+      p = it->second;
+      pending_.erase(it);
+    }
+    std::lock_guard<std::mutex> g(p->mu);
+    p->done = true;
+    p->status = resp.status;
+    p->content_type = resp.content_type;
+    p->body = resp.body;
+    p->cv.notify_all();
+  });
+}
+
+HttpServer::~HttpServer() { stop_accepting(); }
+
+void HttpServer::boot() {
+  if (running_.exchange(true)) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(listen_.host);
+  addr.sin_port = htons(listen_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw std::runtime_error("HttpServer: cannot listen on " + listen_.to_string());
+  }
+  // Recover an ephemeral port choice so callers can connect.
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_.port = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { accept_main(); });
+}
+
+void HttpServer::stop_accepting() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+}
+
+void HttpServer::accept_main() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    // Connections are short-lived (HTTP/1.0, Connection: close); serve each
+    // in a detached worker so a slow client cannot stall the accept loop.
+    std::thread([this, fd] { serve_connection(fd); }).detach();
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  char buf[8192];
+  std::string raw;
+  // Read until the end of headers (or a bounded amount).
+  while (raw.find("\r\n\r\n") == std::string::npos && raw.size() < sizeof(buf)) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  std::string method = "GET", path = "/", query;
+  const auto eol = raw.find("\r\n");
+  if (eol != std::string::npos) {
+    const std::string line = raw.substr(0, eol);
+    const auto sp1 = line.find(' ');
+    const auto sp2 = line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos && sp2 != std::string::npos) {
+      method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const auto qpos = target.find('?');
+      path = target.substr(0, qpos);
+      if (qpos != std::string::npos) query = target.substr(qpos + 1);
+    }
+  }
+
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto pending = std::make_shared<PendingResponse>();
+  {
+    std::lock_guard<std::mutex> g(pending_mu_);
+    pending_[id] = pending;
+  }
+  trigger(make_event<WebRequest>(id, method, path, query), web_);
+
+  {
+    std::unique_lock<std::mutex> lock(pending->mu);
+    pending->cv.wait_for(lock, std::chrono::milliseconds(request_timeout_ms_),
+                         [&pending] { return pending->done; });
+  }
+  {
+    std::lock_guard<std::mutex> g(pending_mu_);
+    pending_.erase(id);
+  }
+
+  std::string head = "HTTP/1.0 " + std::to_string(pending->status) +
+                     (pending->status == 200 ? " OK" : " ERROR") +
+                     "\r\nContent-Type: " + pending->content_type +
+                     "\r\nContent-Length: " + std::to_string(pending->body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  head += pending->body;
+  std::size_t off = 0;
+  while (off < head.size()) {
+    const ssize_t n = ::send(fd, head.data() + off, head.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace kompics::web

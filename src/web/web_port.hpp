@@ -1,0 +1,48 @@
+#pragma once
+
+// The Web abstraction (paper §4.1): applications *provide* a Web port,
+// "accepting WebRequests and delivering WebResponses containing HTML
+// pages". The HttpServer component (web/http_server.hpp) is the embedded
+// Jetty stand-in: it parses HTTP from a TCP socket, triggers a WebRequest
+// on its required Web port, and writes the matching WebResponse back to the
+// client.
+
+#include <cstdint>
+#include <string>
+
+#include "kompics/event.hpp"
+#include "kompics/port_type.hpp"
+
+namespace kompics::web {
+
+class WebRequest : public Event {
+ public:
+  WebRequest(std::uint64_t id, std::string method, std::string path, std::string query)
+      : id(id), method(std::move(method)), path(std::move(path)), query(std::move(query)) {}
+  std::uint64_t id;
+  std::string method;
+  std::string path;
+  std::string query;
+};
+
+class WebResponse : public Event {
+ public:
+  WebResponse(std::uint64_t id, int status, std::string content_type, std::string body)
+      : id(id), status(status), content_type(std::move(content_type)), body(std::move(body)) {}
+  std::uint64_t id;
+  int status;
+  std::string content_type;
+  std::string body;
+};
+
+/// Provided by web applications; required by HttpServer.
+class Web : public PortType {
+ public:
+  Web() {
+    set_name("Web");
+    request<WebRequest>();      // toward the application
+    indication<WebResponse>();  // back toward the HTTP front-end
+  }
+};
+
+}  // namespace kompics::web

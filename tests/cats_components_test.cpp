@@ -1,0 +1,323 @@
+// Per-component unit tests of the CATS protocols in small, controlled
+// simulated worlds: ping failure detector (suspect / restore / adaptive
+// timeout), Cyclon (dissemination, bounded cache), bootstrap server
+// (registration, sampling, eviction), and the monitoring service.
+
+#include <gtest/gtest.h>
+
+#include "cats/bootstrap.hpp"
+#include "cats/cyclon.hpp"
+#include "cats/failure_detector.hpp"
+#include "cats/monitor.hpp"
+#include "sim/network_emulator.hpp"
+#include "sim/sim_timer.hpp"
+#include "sim/simulation.hpp"
+
+namespace kompics::cats::test {
+namespace {
+
+using sim::LinkModel;
+using sim::NetworkEmulator;
+using sim::SimNetworkHub;
+using sim::SimNetworkHubPtr;
+using sim::SimTimer;
+using sim::Simulation;
+
+// One simulated machine hosting a single protocol component.
+template <class Proto>
+class Machine : public ComponentDefinition {
+ public:
+  Machine(Address self, SimNetworkHubPtr hub, sim::SimulatorCore* core) {
+    net = create<NetworkEmulator>();
+    trigger(make_event<NetworkEmulator::Init>(self, hub), net.control());
+    timer = create<SimTimer>();
+    trigger(make_event<SimTimer::Init>(core), timer.control());
+    proto = create<Proto>();
+    // Connect only the abstractions the protocol actually requires.
+    if (proto.core()->find_port(std::type_index(typeid(net::Network)), false) != nullptr) {
+      connect(proto.template required<net::Network>(), net.template provided<net::Network>());
+    }
+    if (proto.core()->find_port(std::type_index(typeid(timing::Timer)), false) != nullptr) {
+      connect(proto.template required<timing::Timer>(), timer.template provided<timing::Timer>());
+    }
+  }
+  Component net, timer, proto;
+};
+
+// ---- ping failure detector ---------------------------------------------------
+
+class FdMain : public ComponentDefinition {
+ public:
+  FdMain(SimNetworkHubPtr hub, sim::SimulatorCore* core, CatsParams params) {
+    a = create<Machine<PingFailureDetector>>(Address::node(1), hub, core);
+    b = create<Machine<PingFailureDetector>>(Address::node(2), hub, core);
+    a.definition_as<Machine<PingFailureDetector>>().proto.control()->trigger(
+        make_event<PingFailureDetector::Init>(Address::node(1), params));
+    b.definition_as<Machine<PingFailureDetector>>().proto.control()->trigger(
+        make_event<PingFailureDetector::Init>(Address::node(2), params));
+    auto fd_a = a.definition_as<Machine<PingFailureDetector>>()
+                    .proto.provided<EventuallyPerfectFD>();
+    subscribe<Suspect>(fd_a, [this](const Suspect& s) { suspects.push_back(s.node); });
+    subscribe<Restore>(fd_a, [this](const Restore& r) { restores.push_back(r.node); });
+  }
+  void monitor() {
+    trigger(make_event<MonitorNode>(Address::node(2)),
+            a.definition_as<Machine<PingFailureDetector>>()
+                .proto.provided<EventuallyPerfectFD>());
+  }
+  Component a, b;
+  std::vector<Address> suspects, restores;
+};
+
+struct FdWorld {
+  explicit FdWorld(LinkModel model = LinkModel{1, 2, 0.0, false}) : simulation(Config{}, 11) {
+    hub = std::make_shared<SimNetworkHub>(&simulation.core(), 3, model);
+    CatsParams params;
+    params.fd_ping_period_ms = 100;
+    params.fd_initial_timeout_ms = 400;
+    params.fd_timeout_increment_ms = 200;
+    main = simulation.bootstrap<FdMain>(hub, &simulation.core(), params);
+    simulation.run_until(1);
+  }
+  Simulation simulation;
+  SimNetworkHubPtr hub;
+  Component main;
+};
+
+TEST(FailureDetector, NoSuspicionWhileAlive) {
+  FdWorld w;
+  w.main.definition_as<FdMain>().monitor();
+  w.simulation.run_until(5000);
+  EXPECT_TRUE(w.main.definition_as<FdMain>().suspects.empty());
+}
+
+TEST(FailureDetector, SuspectsPartitionedNodeAndRestoresAfterHeal) {
+  FdWorld w;
+  w.main.definition_as<FdMain>().monitor();
+  w.simulation.run_until(1000);
+
+  w.hub->partition({{1}, {2}});
+  w.simulation.run_until(3000);
+  ASSERT_EQ(w.main.definition_as<FdMain>().suspects.size(), 1u);
+  EXPECT_EQ(w.main.definition_as<FdMain>().suspects[0], Address::node(2));
+
+  w.hub->heal();
+  w.simulation.run_until(6000);
+  ASSERT_EQ(w.main.definition_as<FdMain>().restores.size(), 1u);
+  EXPECT_EQ(w.main.definition_as<FdMain>().restores[0], Address::node(2));
+}
+
+TEST(FailureDetector, TimeoutAdaptsAfterFalseSuspicion) {
+  FdWorld w;
+  auto& fd_def = w.main.definition_as<FdMain>()
+                     .a.definition_as<Machine<PingFailureDetector>>()
+                     .proto.definition_as<PingFailureDetector>();
+  w.main.definition_as<FdMain>().monitor();
+  w.simulation.run_until(1000);
+
+  // Two suspect/restore cycles: the second suspicion must take longer
+  // because the timeout grew.
+  w.hub->partition({{1}, {2}});
+  w.simulation.run_until(3000);
+  EXPECT_TRUE(fd_def.is_suspected(Address::node(2)));
+  w.hub->heal();
+  w.simulation.run_until(6000);
+  EXPECT_FALSE(fd_def.is_suspected(Address::node(2)));
+
+  const auto suspected_again_at = [&]() -> TimeMs {
+    w.hub->partition({{1}, {2}});
+    const TimeMs start = w.simulation.now();
+    while (!fd_def.is_suspected(Address::node(2)) && w.simulation.now() < start + 20000) {
+      w.simulation.run_until(w.simulation.now() + 50);
+    }
+    return w.simulation.now() - start;
+  }();
+  EXPECT_GT(suspected_again_at, 400) << "adapted timeout must exceed the initial 400ms";
+}
+
+// ---- Cyclon -------------------------------------------------------------------
+
+class CyclonMain : public ComponentDefinition {
+ public:
+  CyclonMain(SimNetworkHubPtr hub, sim::SimulatorCore* core, int n, CatsParams params) {
+    for (int i = 0; i < n; ++i) {
+      machines.push_back(create<Machine<CyclonOverlay>>(Address::node(1 + i), hub, core));
+      machines.back().definition_as<Machine<CyclonOverlay>>().proto.control()->trigger(
+          make_event<CyclonOverlay::Init>(
+              NodeRef{static_cast<RingKey>(i) << 32, Address::node(1 + i)}, params));
+    }
+  }
+  CyclonOverlay& overlay(int i) {
+    return machines[static_cast<std::size_t>(i)]
+        .definition_as<Machine<CyclonOverlay>>()
+        .proto.definition_as<CyclonOverlay>();
+  }
+  void seed(int i, const std::vector<NodeRef>& contacts) {
+    trigger(make_event<SamplingSeed>(
+                NodeRef{static_cast<RingKey>(i) << 32, Address::node(1 + i)}, contacts),
+            machines[static_cast<std::size_t>(i)]
+                .definition_as<Machine<CyclonOverlay>>()
+                .proto.provided<NodeSampling>());
+  }
+  std::vector<Component> machines;
+};
+
+TEST(Cyclon, GossipSpreadsMembershipLineTopology) {
+  Simulation simulation(Config{}, 17);
+  auto hub = std::make_shared<SimNetworkHub>(&simulation.core(), 5, LinkModel{1, 2, 0.0, false});
+  CatsParams params;
+  params.shuffle_period_ms = 100;
+  params.cyclon_cache_size = 12;
+  params.cyclon_shuffle_length = 4;
+  constexpr int kN = 10;
+  auto main = simulation.bootstrap<CyclonMain>(hub, &simulation.core(), kN, params);
+  simulation.run_until(1);
+  auto& def = main.definition_as<CyclonMain>();
+
+  // Seed a line: node i knows only node i-1. Gossip must spread knowledge.
+  for (int i = 1; i < kN; ++i) {
+    def.seed(i, {NodeRef{static_cast<RingKey>(i - 1) << 32, Address::node(i)}});
+  }
+  simulation.run_until(20000);
+
+  for (int i = 0; i < kN; ++i) {
+    const auto& cache = def.overlay(i).cache();
+    EXPECT_GE(cache.size(), 4u) << "node " << i << " should have discovered several peers";
+    EXPECT_LE(cache.size(), params.cyclon_cache_size);
+    for (const auto& e : cache) {
+      EXPECT_NE(e.node.addr, Address::node(1 + i)) << "cache must not contain self";
+    }
+  }
+}
+
+// ---- bootstrap -------------------------------------------------------------------
+
+class BootMain : public ComponentDefinition {
+ public:
+  BootMain(SimNetworkHubPtr hub, sim::SimulatorCore* core, CatsParams params) {
+    server = create<Machine<BootstrapServer>>(Address::node(1), hub, core);
+    server.definition_as<Machine<BootstrapServer>>().proto.control()->trigger(
+        make_event<BootstrapServer::Init>(Address::node(1), params));
+    for (int i = 0; i < 3; ++i) {
+      clients.push_back(create<Machine<BootstrapClient>>(Address::node(10 + i), hub, core));
+      clients.back().definition_as<Machine<BootstrapClient>>().proto.control()->trigger(
+          make_event<BootstrapClient::Init>(
+              NodeRef{static_cast<RingKey>(i), Address::node(10 + i)}, Address::node(1),
+              params));
+      auto port = clients.back()
+                      .definition_as<Machine<BootstrapClient>>()
+                      .proto.provided<Bootstrap>();
+      subscribe<BootstrapResponse>(port, [this, i](const BootstrapResponse& resp) {
+        responses.emplace_back(i, resp.peers.size());
+      });
+    }
+  }
+  void request(int i) {
+    auto& m = clients[static_cast<std::size_t>(i)].definition_as<Machine<BootstrapClient>>();
+    trigger(make_event<BootstrapRequest>(NodeRef{static_cast<RingKey>(i),
+                                                 Address::node(10 + i)}),
+            m.proto.provided<Bootstrap>());
+  }
+  void done(int i) {
+    auto& m = clients[static_cast<std::size_t>(i)].definition_as<Machine<BootstrapClient>>();
+    trigger(make_event<BootstrapDone>(), m.proto.provided<Bootstrap>());
+  }
+  BootstrapServer& server_def() {
+    return server.definition_as<Machine<BootstrapServer>>().proto
+        .definition_as<BootstrapServer>();
+  }
+  Component server;
+  std::vector<Component> clients;
+  std::vector<std::pair<int, std::size_t>> responses;
+};
+
+TEST(Bootstrap, SequentialJoinersLearnAboutEarlierOnes) {
+  Simulation simulation(Config{}, 23);
+  auto hub = std::make_shared<SimNetworkHub>(&simulation.core(), 9, LinkModel{1, 1, 0.0, false});
+  CatsParams params;
+  params.keepalive_period_ms = 500;
+  params.bootstrap_eviction_ms = 2000;
+  auto main = simulation.bootstrap<BootMain>(hub, &simulation.core(), params);
+  simulation.run_until(1);
+  auto& def = main.definition_as<BootMain>();
+
+  def.request(0);
+  simulation.run_until(100);
+  def.request(1);
+  simulation.run_until(200);
+  def.request(2);
+  simulation.run_until(300);
+
+  ASSERT_EQ(def.responses.size(), 3u);
+  EXPECT_EQ(def.responses[0], std::make_pair(0, std::size_t{0}));  // first: empty world
+  EXPECT_EQ(def.responses[1], std::make_pair(1, std::size_t{1}));
+  EXPECT_EQ(def.responses[2], std::make_pair(2, std::size_t{2}));
+}
+
+TEST(Bootstrap, KeepAlivesPreventEvictionAndSilenceCausesIt) {
+  Simulation simulation(Config{}, 23);
+  auto hub = std::make_shared<SimNetworkHub>(&simulation.core(), 9, LinkModel{1, 1, 0.0, false});
+  CatsParams params;
+  params.keepalive_period_ms = 500;
+  params.bootstrap_eviction_ms = 2000;
+  auto main = simulation.bootstrap<BootMain>(hub, &simulation.core(), params);
+  simulation.run_until(1);
+  auto& def = main.definition_as<BootMain>();
+
+  def.request(0);
+  def.request(1);
+  simulation.run_until(100);
+  def.done(0);  // node 0 keeps sending keep-alives; node 1 goes silent
+  simulation.run_until(10000);
+  EXPECT_EQ(def.server_def().alive_count(), 1u)
+      << "only the keep-alive sender survives eviction";
+  EXPECT_EQ(def.server_def().alive_nodes()[0].addr, Address::node(10));
+}
+
+// ---- monitoring ------------------------------------------------------------------
+
+TEST(Monitor, ClientAggregatesStatusAndServerBuildsGlobalView) {
+  Simulation simulation(Config{}, 31);
+  auto hub = std::make_shared<SimNetworkHub>(&simulation.core(), 2, LinkModel{1, 1, 0.0, false});
+
+  // Assemble by hand: monitor server machine + one client machine whose
+  // Status port is served by a failure detector.
+  class World : public ComponentDefinition {
+   public:
+    World(SimNetworkHubPtr hub, sim::SimulatorCore* core) {
+      CatsParams params;
+      params.monitor_period_ms = 200;
+      server = create<Machine<MonitorServer>>(Address::node(1), hub, core);
+      server.definition_as<Machine<MonitorServer>>().proto.control()->trigger(
+          make_event<MonitorServer::Init>(Address::node(1)));
+
+      client_machine = create<Machine<MonitorClient>>(Address::node(2), hub, core);
+      auto& m = client_machine.definition_as<Machine<MonitorClient>>();
+      m.proto.control()->trigger(make_event<MonitorClient::Init>(
+          NodeRef{42, Address::node(2)}, Address::node(1), params));
+
+      // Status provider: a failure detector inside the same machine scope.
+      fd = create<PingFailureDetector>();
+      fd.control()->trigger(make_event<PingFailureDetector::Init>(Address::node(2), params));
+      connect(fd.required<net::Network>(), m.net.provided<net::Network>());
+      connect(fd.required<timing::Timer>(), m.timer.provided<timing::Timer>());
+      connect(fd.provided<Status>(), m.proto.required<Status>());
+    }
+    Component server, client_machine, fd;
+  };
+
+  auto main = simulation.bootstrap<World>(hub, &simulation.core());
+  simulation.run_until(2000);
+
+  auto& server = main.definition_as<World>()
+                     .server.definition_as<Machine<MonitorServer>>()
+                     .proto.definition_as<MonitorServer>();
+  ASSERT_EQ(server.global_view().size(), 1u);
+  const auto& report = server.global_view().begin()->second;
+  EXPECT_EQ(report.node.key, 42u);
+  EXPECT_EQ(report.fields.count("PingFailureDetector.monitored"), 1u);
+  EXPECT_NE(server.render_text().find("node-2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kompics::cats::test

@@ -1,0 +1,143 @@
+// Failure injection: network partitions (the "partitionable" part of §4's
+// environment). CATS must fail cleanly — not hang and not lie — while
+// partitioned, and recover after healing, with the overall history still
+// linearizable.
+
+#include <gtest/gtest.h>
+
+#include "cats/cats_simulator.hpp"
+#include "cats/linearizability.hpp"
+#include "sim/simulation.hpp"
+
+namespace kompics::cats::test {
+namespace {
+
+using sim::LinkModel;
+using sim::SimNetworkHub;
+using sim::SimNetworkHubPtr;
+using sim::Simulation;
+
+class SimMain : public ComponentDefinition {
+ public:
+  SimMain(sim::SimulatorCore* core, SimNetworkHubPtr hub, CatsParams params) {
+    simulator = create<CatsSimulator>(core, hub, params);
+  }
+  Component simulator;
+};
+
+struct PartitionWorld {
+  PartitionWorld() : simulation(Config{}, 99) {
+    hub = std::make_shared<SimNetworkHub>(&simulation.core(), 4, LinkModel{1, 5, 0.0, false});
+    CatsParams params;
+    params.op_timeout_ms = 600;
+    params.op_max_retries = 2;
+    params.bootstrap_refresh_ms = 2000;  // fast partition healing for the test
+    main = simulation.bootstrap<SimMain>(&simulation.core(), hub, params);
+    simulation.run_until(1);
+    cats = &main.definition_as<SimMain>().simulator.definition_as<CatsSimulator>();
+    for (std::uint64_t id : {10, 20, 30, 40, 50}) {
+      cats->join(id);
+      simulation.run_until(simulation.now() + 300);
+    }
+    simulation.run_until(simulation.now() + 8000);
+  }
+  void settle(DurationMs t) { simulation.run_until(simulation.now() + t); }
+  // Hosts as the hub sees them: node id + 2 (CatsSimulator's addressing),
+  // host 1 is the bootstrap server.
+  static std::uint32_t host(std::uint64_t id) { return static_cast<std::uint32_t>(id) + 2; }
+
+  Simulation simulation;
+  SimNetworkHubPtr hub;
+  Component main;
+  CatsSimulator* cats = nullptr;
+};
+
+TEST(CatsPartition, IsolatedCoordinatorFailsCleanlyAndRecovers) {
+  PartitionWorld w;
+  ASSERT_EQ(w.cats->ready_count(), 5u);
+  const RingKey k = hash_to_ring("pk");
+  w.cats->put(10, k, Value{1});
+  w.settle(2000);
+  ASSERT_TRUE(w.cats->history()[0].ok);
+
+  // Cut node 30 off from everyone (including the bootstrap server).
+  w.hub->partition({{PartitionWorld::host(30)},
+                    {1, PartitionWorld::host(10), PartitionWorld::host(20),
+                     PartitionWorld::host(40), PartitionWorld::host(50)}});
+  w.cats->put(30, k, Value{2});  // coordinated by the isolated node
+  w.settle(5000);                // > timeout * (retries + 1)
+  const auto& h = w.cats->history();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_GE(h[1].responded, 0) << "the op must terminate, not hang";
+  EXPECT_FALSE(h[1].ok) << "an isolated coordinator cannot reach a quorum";
+
+  // Majority side keeps serving meanwhile.
+  w.cats->get(10, k);
+  w.settle(2000);
+  ASSERT_EQ(w.cats->history().size(), 3u);
+  EXPECT_TRUE(w.cats->history()[2].ok);
+  EXPECT_EQ(w.cats->history()[2].got_value, Value{1})
+      << "the partitioned put must not be visible (it never reached quorum)";
+
+  // Heal; the isolated node re-bootstraps, re-seeds gossip, and merges back.
+  w.hub->heal();
+  w.settle(15000);
+  w.cats->put(30, k, Value{3});
+  w.settle(3000);
+  w.cats->get(20, k);
+  w.settle(2000);
+  const auto& h2 = w.cats->history();
+  ASSERT_EQ(h2.size(), 5u);
+  EXPECT_TRUE(h2[3].ok) << "after healing, the node serves again";
+  ASSERT_TRUE(h2[4].ok);
+  EXPECT_EQ(h2[4].got_value, Value{3});
+
+  const auto lin = check_history(h2);
+  EXPECT_TRUE(lin.linearizable) << lin.explanation;
+}
+
+TEST(CatsPartition, HistoryAcrossPartitionIsLinearizable) {
+  PartitionWorld w;
+  const RingKey k = hash_to_ring("qq");
+  int vc = 0;
+  w.cats->put(10, k, Value{static_cast<std::uint8_t>(++vc)});
+  w.settle(2000);
+
+  // Partition 2 vs 3 nodes; fire ops from both sides, heal, fire more.
+  w.hub->partition({{PartitionWorld::host(10), PartitionWorld::host(20)},
+                    {1, PartitionWorld::host(30), PartitionWorld::host(40),
+                     PartitionWorld::host(50)}});
+  w.cats->put(10, k, Value{static_cast<std::uint8_t>(++vc)});
+  w.cats->put(40, k, Value{static_cast<std::uint8_t>(++vc)});
+  w.cats->get(20, k);
+  w.cats->get(50, k);
+  w.settle(6000);
+  w.hub->heal();
+  w.settle(20000);  // re-bootstrap refresh + gossip + stabilization merge
+  w.cats->put(30, k, Value{static_cast<std::uint8_t>(++vc)});
+  w.settle(3000);
+  w.cats->get(10, k);
+  w.cats->get(50, k);
+  w.settle(5000);
+
+  // KNOWN LIMITATION (documented, DESIGN.md): during a partial partition
+  // both sides can retain ring quorums and commit divergent writes — the
+  // real CATS closes this with consistent quorums [11], which is beyond
+  // this reproduction. What we DO guarantee and test: every operation
+  // terminates (no hangs), the rings merge after healing, and post-merge
+  // reads converge (same value from different coordinators).
+  for (const auto& rec : w.cats->history()) {
+    EXPECT_GE(rec.responded, 0) << "operations must terminate";
+  }
+  const auto& h = w.cats->history();
+  const auto& read_a = h[h.size() - 2];
+  const auto& read_b = h[h.size() - 1];
+  ASSERT_TRUE(read_a.ok && read_b.ok) << "post-merge reads must succeed";
+  EXPECT_EQ(read_a.got_value, read_b.got_value)
+      << "post-merge reads from different coordinators must agree";
+  EXPECT_EQ(read_a.got_value, Value{static_cast<std::uint8_t>(vc)})
+      << "the post-merge write is the visible value";
+}
+
+}  // namespace
+}  // namespace kompics::cats::test

@@ -1,0 +1,142 @@
+// Property-style parameterized sweeps over simulation seeds: for every
+// seed, the whole CATS system must (a) converge its ring, (b) complete its
+// operations, and (c) produce a linearizable history — the paper's §4
+// guarantees as universally-quantified properties rather than single runs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cats/cats_simulator.hpp"
+#include "cats/linearizability.hpp"
+#include "sim/simulation.hpp"
+
+namespace kompics::cats::test {
+namespace {
+
+using sim::LinkModel;
+using sim::SimNetworkHub;
+using sim::SimNetworkHubPtr;
+using sim::Simulation;
+
+class SimMain : public ComponentDefinition {
+ public:
+  SimMain(sim::SimulatorCore* core, SimNetworkHubPtr hub, CatsParams params) {
+    simulator = create<CatsSimulator>(core, hub, params);
+  }
+  Component simulator;
+};
+
+struct SweepWorld {
+  SweepWorld(std::uint64_t seed, LinkModel model) : simulation(Config{}, seed) {
+    hub = std::make_shared<SimNetworkHub>(&simulation.core(), seed * 31 + 7, model);
+    CatsParams params;
+    params.op_timeout_ms = 800;
+    main = simulation.bootstrap<SimMain>(&simulation.core(), hub, params);
+    simulation.run_until(1);
+    cats = &main.definition_as<SimMain>().simulator.definition_as<CatsSimulator>();
+  }
+  Simulation simulation;
+  SimNetworkHubPtr hub;
+  Component main;
+  CatsSimulator* cats;
+};
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, RingConvergesForEverySeed) {
+  SweepWorld r(GetParam(), LinkModel{1, 15, 0.0, false});
+  std::mt19937_64 ids(GetParam());
+  std::set<std::uint64_t> chosen;
+  while (chosen.size() < 8) chosen.insert(ids() % 65536);
+  for (auto id : chosen) {
+    r.cats->join(id);
+    r.simulation.run_until(r.simulation.now() + 200);
+  }
+  r.simulation.run_until(r.simulation.now() + 10000);
+  EXPECT_EQ(r.cats->ready_count(), 8u) << "seed " << GetParam();
+
+  // Ring order property: every node's first successor is the clockwise
+  // next alive key.
+  std::vector<std::uint64_t> sorted(chosen.begin(), chosen.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const auto& ring = r.cats->node(sorted[i]).ring.definition_as<CatsRing>();
+    ASSERT_FALSE(ring.successors().empty());
+    EXPECT_EQ(ring.successors()[0].key,
+              CatsSimulator::node_ring_key(sorted[(i + 1) % sorted.size()]))
+        << "seed " << GetParam() << " node " << sorted[i];
+  }
+}
+
+TEST_P(SeedSweep, ConcurrentHistoryIsLinearizableForEverySeed) {
+  // Jitter + light loss; concurrent mixed workload on two keys.
+  SweepWorld r(GetParam(), LinkModel{1, 25, 0.01, false});
+  for (std::uint64_t id : {5, 15, 25, 35, 45}) {
+    r.cats->join(id);
+    r.simulation.run_until(r.simulation.now() + 250);
+  }
+  r.simulation.run_until(r.simulation.now() + 9000);
+  ASSERT_EQ(r.cats->ready_count(), 5u);
+
+  std::mt19937_64 rng(GetParam() ^ 0xfeed);
+  const std::vector<std::uint64_t> nodes{5, 15, 25, 35, 45};
+  const std::vector<RingKey> keys{hash_to_ring("p"), hash_to_ring("q")};
+  int vc = 0;
+  for (int round = 0; round < 30; ++round) {
+    for (int j = 0; j < 2; ++j) {
+      const auto node = nodes[rng() % nodes.size()];
+      const auto key = keys[rng() % keys.size()];
+      if (rng() % 2 == 0) {
+        r.cats->put(node, key, Value{static_cast<std::uint8_t>(++vc),
+                                     static_cast<std::uint8_t>(vc >> 8)});
+      } else {
+        r.cats->get(node, key);
+      }
+    }
+    r.simulation.run_until(r.simulation.now() + static_cast<DurationMs>(rng() % 150));
+  }
+  r.simulation.run_until(r.simulation.now() + 15000);
+
+  std::size_t completed = 0;
+  for (const auto& rec : r.cats->history()) completed += rec.responded >= 0 ? 1 : 0;
+  EXPECT_EQ(completed, r.cats->history().size()) << "stable ring: everything completes";
+
+  const auto lin = check_history(r.cats->history());
+  EXPECT_TRUE(lin.linearizable) << "seed " << GetParam() << ": " << lin.explanation;
+}
+
+TEST_P(SeedSweep, HistoryLinearizableAcrossOneFailure) {
+  SweepWorld r(GetParam(), LinkModel{1, 10, 0.0, false});
+  for (std::uint64_t id : {10, 20, 30, 40, 50, 60}) {
+    r.cats->join(id);
+    r.simulation.run_until(r.simulation.now() + 250);
+  }
+  r.simulation.run_until(r.simulation.now() + 9000);
+
+  std::mt19937_64 rng(GetParam() ^ 0xdead);
+  const RingKey k = hash_to_ring("fk");
+  int vc = 0;
+  r.cats->put(10, k, Value{static_cast<std::uint8_t>(++vc)});
+  r.simulation.run_until(r.simulation.now() + 2000);
+  // Ops straddle one crash.
+  for (int i = 0; i < 6; ++i) {
+    const auto ids = r.cats->alive_ids();
+    r.cats->put(ids[rng() % ids.size()], k, Value{static_cast<std::uint8_t>(++vc)});
+    r.cats->get(ids[rng() % ids.size()], k);
+    if (i == 2) {
+      const auto victims = r.cats->alive_ids();
+      r.cats->fail(victims[rng() % victims.size()]);
+    }
+    r.simulation.run_until(r.simulation.now() + 700);
+  }
+  r.simulation.run_until(r.simulation.now() + 25000);
+
+  const auto lin = check_history(r.cats->history());
+  EXPECT_TRUE(lin.linearizable) << "seed " << GetParam() << ": " << lin.explanation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace kompics::cats::test

@@ -1,0 +1,114 @@
+// Property tests for ring-interval arithmetic — the foundation of
+// responsibility intervals, routing, and replica placement. Wrap-around
+// intervals are a classic source of off-by-one bugs, so these are swept
+// parametrically.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cats/ring_key.hpp"
+
+namespace kompics::cats::test {
+namespace {
+
+TEST(RingInterval, BasicNonWrapped) {
+  EXPECT_TRUE(in_interval_oc(10, 20, 15));
+  EXPECT_TRUE(in_interval_oc(10, 20, 20));   // closed at 'to'
+  EXPECT_FALSE(in_interval_oc(10, 20, 10));  // open at 'from'
+  EXPECT_FALSE(in_interval_oc(10, 20, 21));
+  EXPECT_FALSE(in_interval_oc(10, 20, 5));
+
+  EXPECT_TRUE(in_interval_oo(10, 20, 15));
+  EXPECT_FALSE(in_interval_oo(10, 20, 20));
+  EXPECT_FALSE(in_interval_oo(10, 20, 10));
+}
+
+TEST(RingInterval, Wrapped) {
+  // (100, 10]: wraps through 0.
+  EXPECT_TRUE(in_interval_oc(100, 10, 105));
+  EXPECT_TRUE(in_interval_oc(100, 10, 0));
+  EXPECT_TRUE(in_interval_oc(100, 10, 10));
+  EXPECT_FALSE(in_interval_oc(100, 10, 50));
+  EXPECT_FALSE(in_interval_oc(100, 10, 100));
+
+  EXPECT_TRUE(in_interval_oc(~0ull - 5, 5, ~0ull));
+  EXPECT_TRUE(in_interval_oc(~0ull - 5, 5, 0));
+}
+
+TEST(RingInterval, DegenerateFullRing) {
+  // from == to: (x, x] is the full ring — a lone node owns everything.
+  EXPECT_TRUE(in_interval_oc(7, 7, 7));
+  EXPECT_TRUE(in_interval_oc(7, 7, 8));
+  EXPECT_TRUE(in_interval_oc(7, 7, 0));
+  // Open-open excludes the endpoint itself.
+  EXPECT_FALSE(in_interval_oo(7, 7, 7));
+  EXPECT_TRUE(in_interval_oo(7, 7, 8));
+}
+
+class RingIntervalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingIntervalProperty, PartitionProperty) {
+  // For any from != to, every key k lies in exactly one of (from, to] and
+  // (to, from] — the two arcs partition the ring.
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const RingKey from = rng();
+    RingKey to = rng();
+    if (to == from) ++to;
+    const RingKey k = rng();
+    const bool in_a = in_interval_oc(from, to, k);
+    const bool in_b = in_interval_oc(to, from, k);
+    EXPECT_NE(in_a, in_b) << "from=" << from << " to=" << to << " k=" << k;
+  }
+}
+
+TEST_P(RingIntervalProperty, OpenClosedConsistency) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  for (int i = 0; i < 2000; ++i) {
+    const RingKey from = rng();
+    const RingKey to = rng();
+    const RingKey k = rng();
+    if (from == to) continue;
+    // oo == oc minus the right endpoint.
+    const bool oc = in_interval_oc(from, to, k);
+    const bool oo = in_interval_oo(from, to, k);
+    if (k == to) {
+      EXPECT_TRUE(oc);
+      EXPECT_FALSE(oo);
+    } else {
+      EXPECT_EQ(oc, oo);
+    }
+  }
+}
+
+TEST_P(RingIntervalProperty, DistanceIsCompatibleWithMembership) {
+  std::mt19937_64 rng(GetParam() + 2000);
+  for (int i = 0; i < 2000; ++i) {
+    const RingKey from = rng();
+    const RingKey to = rng();
+    const RingKey k = rng();
+    if (from == to) continue;
+    // k in (from, to] iff walking clockwise from 'from', k comes no later
+    // than 'to'.
+    const bool member = ring_distance(from, k) <= ring_distance(from, to) && k != from;
+    EXPECT_EQ(member, in_interval_oc(from, to, k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingIntervalProperty, ::testing::Range(0, 8));
+
+TEST(RingHash, StableAndDispersed) {
+  EXPECT_EQ(hash_to_ring("alpha"), hash_to_ring("alpha"));
+  EXPECT_NE(hash_to_ring("alpha"), hash_to_ring("beta"));
+  // Cheap dispersion check: 1000 sequential keys land in many distinct
+  // 1/16th slices of the ring.
+  std::set<std::uint64_t> slices;
+  for (int i = 0; i < 1000; ++i) {
+    slices.insert(hash_to_ring("key-" + std::to_string(i)) >> 60);
+  }
+  EXPECT_EQ(slices.size(), 16u);
+}
+
+}  // namespace
+}  // namespace kompics::cats::test

@@ -1,0 +1,218 @@
+// White-box tests of the OneHopRouter: responsibility gating on ring views,
+// group construction from successor lists, table learning from samples,
+// TTL-based eviction of stale entries, greedy forwarding, ring fallback,
+// and TTL-hop exhaustion. A harness plays ring + sampling + network.
+
+#include <gtest/gtest.h>
+
+#include "cats/router.hpp"
+#include "sim/simulation.hpp"
+
+namespace kompics::cats::test {
+namespace {
+
+using sim::Simulation;
+
+class Harness : public ComponentDefinition {
+ public:
+  Harness() {
+    subscribe<LookupResponse>(router_, [this](const LookupResponse& r) {
+      responses.push_back(r);
+    });
+    subscribe<RouteLookupMsg>(network_, [this](const RouteLookupMsg& m) {
+      forwarded.push_back(m);
+    });
+    subscribe<LookupResultMsg>(network_, [this](const LookupResultMsg& m) {
+      results.push_back(m);
+    });
+  }
+
+  void view(NodeRef self, bool has_pred, NodeRef pred, std::vector<NodeRef> succs,
+            bool sole_member = false) {
+    trigger(make_event<RingView>(self, pred, has_pred, std::move(succs), sole_member), ring_);
+  }
+  void sample(std::vector<NodeRef> nodes) {
+    trigger(make_event<NodeSample>(std::move(nodes)), sampling_);
+  }
+  void lookup(OpId id, RingKey key, std::size_t group) {
+    trigger(make_event<LookupRequest>(id, key, group), router_);
+  }
+  void remote_lookup(Address from, Address to, NodeRef origin, OpId op, RingKey key,
+                     std::uint32_t ttl) {
+    trigger(make_event<RouteLookupMsg>(from, to, origin, op, key, 3, ttl), network_);
+  }
+  void inject_result(Address from, Address to, OpId op, RingKey key,
+                     std::vector<NodeRef> group) {
+    trigger(make_event<LookupResultMsg>(from, to, op, key, std::move(group)), network_);
+  }
+
+  Positive<Router> router_ = require<Router>();
+  Negative<Ring> ring_ = provide<Ring>();
+  Negative<NodeSampling> sampling_ = provide<NodeSampling>();
+  Negative<net::Network> network_ = provide<net::Network>();
+
+  std::vector<LookupResponse> responses;
+  std::vector<RouteLookupMsg> forwarded;
+  std::vector<LookupResultMsg> results;
+};
+
+NodeRef node(std::uint64_t id) { return NodeRef{id << 48, Address::node(static_cast<std::uint32_t>(id))}; }
+
+class World : public ComponentDefinition {
+ public:
+  World() {
+    self = node(50);
+    router = create<OneHopRouter>();
+    router.control()->trigger(make_event<OneHopRouter::Init>(self, CatsParams{}));
+    harness = create<Harness>();
+    connect(router.provided<Router>(), harness.required<Router>());
+    connect(router.required<Ring>(), harness.provided<Ring>());
+    connect(router.required<NodeSampling>(), harness.provided<NodeSampling>());
+    connect(router.required<net::Network>(), harness.provided<net::Network>());
+  }
+  Harness& h() { return harness.definition_as<Harness>(); }
+  OneHopRouter& r() { return router.definition_as<OneHopRouter>(); }
+  NodeRef self;
+  Component router, harness;
+};
+
+struct RouterFixture : ::testing::Test {
+  RouterFixture() : sim(Config{}, 3) {
+    main = sim.bootstrap<World>();
+    sim.run_until(1);
+    world = &main.definition_as<World>();
+  }
+  void step() { sim.run_until(sim.now() + 1); }
+  Simulation sim;
+  Component main;
+  World* world = nullptr;
+};
+
+TEST_F(RouterFixture, NotResponsibleBeforeFirstRingView) {
+  // Pre-join lookups must never be answered authoritatively: with no table
+  // and no successors, the router reports an empty group (caller retries).
+  world->h().lookup(1, 123, 3);
+  step();
+  ASSERT_EQ(world->h().responses.size(), 1u);
+  EXPECT_TRUE(world->h().responses[0].group.empty());
+}
+
+TEST_F(RouterFixture, AuthoritativeAnswerUsesRingSuccessorList) {
+  // Ring view: pred=40, self=50, succs=60,70,80. Keys in (40,50] are ours.
+  world->h().view(world->self, true, node(40), {node(60), node(70), node(80)});
+  step();
+  world->h().lookup(2, (45ull << 48), 3);
+  step();
+  ASSERT_EQ(world->h().responses.size(), 1u);
+  const auto& g = world->h().responses[0].group;
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[0].key, world->self.key) << "responsible node heads the group";
+  EXPECT_EQ(g[1].key, node(60).key);
+  EXPECT_EQ(g[2].key, node(70).key);
+}
+
+TEST_F(RouterFixture, LoneRingIsResponsibleForEverything) {
+  world->h().view(world->self, false, NodeRef{}, {}, /*sole_member=*/true);
+  step();
+  world->h().lookup(3, (7ull << 48), 3);
+  step();
+  ASSERT_EQ(world->h().responses.size(), 1u);
+  ASSERT_EQ(world->h().responses[0].group.size(), 1u);
+  EXPECT_EQ(world->h().responses[0].group[0].key, world->self.key);
+}
+
+TEST_F(RouterFixture, ForwardsToClosestPrecedingTableEntry) {
+  world->h().view(world->self, true, node(40), {node(60)});
+  world->h().sample({node(10), node(20), node(30), node(60), node(70)});
+  step();
+  // Key 25<<48: not ours. Closest preceding candidates are 10 and 20 (and
+  // 25 itself is absent); the pick is randomized among the top 3 preceding
+  // — all of which precede the key and exclude later nodes.
+  world->h().lookup(4, (25ull << 48), 3);
+  step();
+  ASSERT_EQ(world->h().forwarded.size(), 1u);
+  const auto dest = world->h().forwarded[0].destination();
+  EXPECT_TRUE(dest == node(10).addr || dest == node(20).addr)
+      << "next hop must precede the key";
+  EXPECT_EQ(world->h().forwarded[0].op, 4u);
+  EXPECT_EQ(world->h().forwarded[0].origin.addr, world->self.addr);
+}
+
+TEST_F(RouterFixture, FallsBackToRingSuccessorWithEmptyTable) {
+  world->h().view(world->self, true, node(40), {node(60), node(70)});
+  step();
+  // Key 65<<48 is past us; table empty -> next hop is succ[0].
+  world->h().lookup(5, (65ull << 48), 3);
+  step();
+  ASSERT_EQ(world->h().forwarded.size(), 1u);
+  EXPECT_EQ(world->h().forwarded[0].destination(), node(60).addr);
+}
+
+TEST_F(RouterFixture, StaleTableEntriesExpire) {
+  world->h().view(world->self, true, node(40), {node(60)});
+  world->h().sample({node(20)});
+  step();
+  EXPECT_GE(world->r().table_size(), 1u);
+  // Let the entry pass its TTL in virtual time; a lookup then falls back to
+  // the ring successor instead of the stale node 20.
+  sim.run_until(sim.now() + OneHopRouter::kEntryTtlMs + 1000);
+  world->h().lookup(6, (25ull << 48), 3);
+  step();
+  ASSERT_EQ(world->h().forwarded.size(), 1u);
+  EXPECT_EQ(world->h().forwarded[0].destination(), node(60).addr)
+      << "expired entries must not be used as hops";
+}
+
+TEST_F(RouterFixture, RemoteLookupAnsweredDirectlyToOrigin) {
+  world->h().view(world->self, true, node(40), {node(60), node(70)});
+  step();
+  const NodeRef origin = node(5);
+  world->h().remote_lookup(node(20).addr, world->self.addr, origin, 77, (45ull << 48), 8);
+  step();
+  ASSERT_EQ(world->h().results.size(), 1u);
+  EXPECT_EQ(world->h().results[0].destination(), origin.addr);
+  EXPECT_EQ(world->h().results[0].op, 77u);
+  ASSERT_FALSE(world->h().results[0].group.empty());
+  EXPECT_EQ(world->h().results[0].group[0].key, world->self.key);
+}
+
+TEST_F(RouterFixture, OrphanedNodeRefusesWholeRingAuthority) {
+  // A node that HAD neighbors and lost them all (partition) must not claim
+  // the whole ring — that would be split-brain (quorum-of-one writes).
+  world->h().view(world->self, true, node(40), {node(60)});
+  step();
+  world->h().view(world->self, false, NodeRef{}, {}, /*sole_member=*/false);
+  step();
+  world->h().lookup(42, (45ull << 48), 3);
+  step();
+  // It may forward to last-known peers (fine) or answer with an empty
+  // group; what it must NEVER do is answer authoritatively with itself.
+  for (const auto& r : world->h().responses) {
+    ASSERT_TRUE(r.group.empty() || r.group[0].addr != world->self.addr)
+        << "orphaned node claimed whole-ring authority (split-brain)";
+  }
+}
+
+TEST_F(RouterFixture, TtlExhaustionDropsTheLookup) {
+  world->h().view(world->self, true, node(40), {node(60)});
+  step();
+  world->h().remote_lookup(node(20).addr, world->self.addr, node(5), 88, (65ull << 48), 0);
+  step();
+  EXPECT_TRUE(world->h().forwarded.empty()) << "ttl=0 must not be forwarded";
+  EXPECT_TRUE(world->h().results.empty());
+}
+
+TEST_F(RouterFixture, LookupResultFeedsTableAndAnswersPort) {
+  world->h().view(world->self, true, node(40), {node(60)});
+  step();
+  const std::size_t before = world->r().table_size();
+  world->h().inject_result(node(30).addr, world->self.addr, 99, (25ull << 48),
+                           {node(30), node(35)});
+  step();
+  ASSERT_EQ(world->h().responses.size(), 1u);
+  EXPECT_EQ(world->h().responses[0].id, 99u);
+  EXPECT_GT(world->r().table_size(), before) << "group members are learned";
+}
+
+}  // namespace
+}  // namespace kompics::cats::test

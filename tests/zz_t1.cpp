@@ -1,0 +1,32 @@
+#include <chrono>
+#include <cstdio>
+#include "cats/cats_simulator.hpp"
+#include "sim/simulation.hpp"
+using namespace kompics; using namespace kompics::cats; using namespace kompics::sim;
+class M : public ComponentDefinition {
+ public:
+  M(SimulatorCore* c, SimNetworkHubPtr h, CatsParams p) { s = create<CatsSimulator>(c, h, p); }
+  Component s;
+};
+int main(int argc, char** argv) {
+  const int peers = argc > 1 ? atoi(argv[1]) : 128;
+  Simulation sim(Config{}, 42);
+  auto hub = std::make_shared<SimNetworkHub>(&sim.core(), 7, LinkModel{1, 10, 0.0, false});
+  auto mc = sim.bootstrap<M>(&sim.core(), hub, CatsParams{});
+  sim.run_until(1);
+  auto& cats = mc.definition_as<M>().s.definition_as<CatsSimulator>();
+  for (int i = 0; i < peers; ++i) {
+    cats.join((std::uint64_t)i * 65536 / peers);
+    sim.run_until(sim.now() + 20);
+  }
+  sim.run_until(sim.now() + 20000);  // settle
+  printf("N=%d ready=%zu/%zu boot_events=%llu\n", peers, cats.ready_count(), cats.alive_count(),
+         (unsigned long long)sim.core().executed());
+  const auto e0 = sim.core().executed();
+  const auto t0 = sim.now();
+  sim.run_until(t0 + 100000);  // 100 s steady state
+  const auto de = sim.core().executed() - e0;
+  printf("steady: %llu events in 100 s -> %.1f events/peer/s\n",
+         (unsigned long long)de, (double)de / peers / 100.0);
+  return 0;
+}
