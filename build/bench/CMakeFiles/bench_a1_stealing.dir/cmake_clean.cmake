@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_stealing.dir/bench_a1_stealing.cpp.o"
+  "CMakeFiles/bench_a1_stealing.dir/bench_a1_stealing.cpp.o.d"
+  "bench_a1_stealing"
+  "bench_a1_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_reconfig.dir/bench_a3_reconfig.cpp.o"
+  "CMakeFiles/bench_a3_reconfig.dir/bench_a3_reconfig.cpp.o.d"
+  "bench_a3_reconfig"
+  "bench_a3_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

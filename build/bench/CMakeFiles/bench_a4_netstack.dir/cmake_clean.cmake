@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_netstack.dir/bench_a4_netstack.cpp.o"
+  "CMakeFiles/bench_a4_netstack.dir/bench_a4_netstack.cpp.o.d"
+  "bench_a4_netstack"
+  "bench_a4_netstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_netstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_core_pubsub.dir/bench_core_pubsub.cpp.o"
+  "CMakeFiles/bench_core_pubsub.dir/bench_core_pubsub.cpp.o.d"
+  "bench_core_pubsub"
+  "bench_core_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_core_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

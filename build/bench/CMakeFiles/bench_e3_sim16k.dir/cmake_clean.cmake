@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_sim16k.dir/bench_e3_sim16k.cpp.o"
+  "CMakeFiles/bench_e3_sim16k.dir/bench_e3_sim16k.cpp.o.d"
+  "bench_e3_sim16k"
+  "bench_e3_sim16k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_sim16k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_cluster.dir/cats_cluster.cpp.o"
+  "CMakeFiles/cats_cluster.dir/cats_cluster.cpp.o.d"
+  "cats_cluster"
+  "cats_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_simulation.dir/cats_simulation.cpp.o"
+  "CMakeFiles/cats_simulation.dir/cats_simulation.cpp.o.d"
+  "cats_simulation"
+  "cats_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_debugging.dir/sim_debugging.cpp.o"
+  "CMakeFiles/sim_debugging.dir/sim_debugging.cpp.o.d"
+  "sim_debugging"
+  "sim_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cats/abd.cpp" "src/cats/CMakeFiles/cats.dir/abd.cpp.o" "gcc" "src/cats/CMakeFiles/cats.dir/abd.cpp.o.d"
+  "/root/repo/src/cats/bootstrap.cpp" "src/cats/CMakeFiles/cats.dir/bootstrap.cpp.o" "gcc" "src/cats/CMakeFiles/cats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/cats/cats_node.cpp" "src/cats/CMakeFiles/cats.dir/cats_node.cpp.o" "gcc" "src/cats/CMakeFiles/cats.dir/cats_node.cpp.o.d"
+  "/root/repo/src/cats/cats_simulator.cpp" "src/cats/CMakeFiles/cats.dir/cats_simulator.cpp.o" "gcc" "src/cats/CMakeFiles/cats.dir/cats_simulator.cpp.o.d"
+  "/root/repo/src/cats/cyclon.cpp" "src/cats/CMakeFiles/cats.dir/cyclon.cpp.o" "gcc" "src/cats/CMakeFiles/cats.dir/cyclon.cpp.o.d"
+  "/root/repo/src/cats/failure_detector.cpp" "src/cats/CMakeFiles/cats.dir/failure_detector.cpp.o" "gcc" "src/cats/CMakeFiles/cats.dir/failure_detector.cpp.o.d"
+  "/root/repo/src/cats/linearizability.cpp" "src/cats/CMakeFiles/cats.dir/linearizability.cpp.o" "gcc" "src/cats/CMakeFiles/cats.dir/linearizability.cpp.o.d"
+  "/root/repo/src/cats/messages.cpp" "src/cats/CMakeFiles/cats.dir/messages.cpp.o" "gcc" "src/cats/CMakeFiles/cats.dir/messages.cpp.o.d"
+  "/root/repo/src/cats/monitor.cpp" "src/cats/CMakeFiles/cats.dir/monitor.cpp.o" "gcc" "src/cats/CMakeFiles/cats.dir/monitor.cpp.o.d"
+  "/root/repo/src/cats/ring.cpp" "src/cats/CMakeFiles/cats.dir/ring.cpp.o" "gcc" "src/cats/CMakeFiles/cats.dir/ring.cpp.o.d"
+  "/root/repo/src/cats/router.cpp" "src/cats/CMakeFiles/cats.dir/router.cpp.o" "gcc" "src/cats/CMakeFiles/cats.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kompics/CMakeFiles/kompics_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kompics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/kompics_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kompics_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats.dir/abd.cpp.o"
+  "CMakeFiles/cats.dir/abd.cpp.o.d"
+  "CMakeFiles/cats.dir/bootstrap.cpp.o"
+  "CMakeFiles/cats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/cats.dir/cats_node.cpp.o"
+  "CMakeFiles/cats.dir/cats_node.cpp.o.d"
+  "CMakeFiles/cats.dir/cats_simulator.cpp.o"
+  "CMakeFiles/cats.dir/cats_simulator.cpp.o.d"
+  "CMakeFiles/cats.dir/cyclon.cpp.o"
+  "CMakeFiles/cats.dir/cyclon.cpp.o.d"
+  "CMakeFiles/cats.dir/failure_detector.cpp.o"
+  "CMakeFiles/cats.dir/failure_detector.cpp.o.d"
+  "CMakeFiles/cats.dir/linearizability.cpp.o"
+  "CMakeFiles/cats.dir/linearizability.cpp.o.d"
+  "CMakeFiles/cats.dir/messages.cpp.o"
+  "CMakeFiles/cats.dir/messages.cpp.o.d"
+  "CMakeFiles/cats.dir/monitor.cpp.o"
+  "CMakeFiles/cats.dir/monitor.cpp.o.d"
+  "CMakeFiles/cats.dir/ring.cpp.o"
+  "CMakeFiles/cats.dir/ring.cpp.o.d"
+  "CMakeFiles/cats.dir/router.cpp.o"
+  "CMakeFiles/cats.dir/router.cpp.o.d"
+  "libcats.a"
+  "libcats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kompics/channel.cpp" "src/kompics/CMakeFiles/kompics_core.dir/channel.cpp.o" "gcc" "src/kompics/CMakeFiles/kompics_core.dir/channel.cpp.o.d"
+  "/root/repo/src/kompics/component.cpp" "src/kompics/CMakeFiles/kompics_core.dir/component.cpp.o" "gcc" "src/kompics/CMakeFiles/kompics_core.dir/component.cpp.o.d"
+  "/root/repo/src/kompics/kompics.cpp" "src/kompics/CMakeFiles/kompics_core.dir/kompics.cpp.o" "gcc" "src/kompics/CMakeFiles/kompics_core.dir/kompics.cpp.o.d"
+  "/root/repo/src/kompics/port.cpp" "src/kompics/CMakeFiles/kompics_core.dir/port.cpp.o" "gcc" "src/kompics/CMakeFiles/kompics_core.dir/port.cpp.o.d"
+  "/root/repo/src/kompics/work_stealing_scheduler.cpp" "src/kompics/CMakeFiles/kompics_core.dir/work_stealing_scheduler.cpp.o" "gcc" "src/kompics/CMakeFiles/kompics_core.dir/work_stealing_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

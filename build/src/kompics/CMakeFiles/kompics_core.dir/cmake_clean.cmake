@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kompics_core.dir/channel.cpp.o"
+  "CMakeFiles/kompics_core.dir/channel.cpp.o.d"
+  "CMakeFiles/kompics_core.dir/component.cpp.o"
+  "CMakeFiles/kompics_core.dir/component.cpp.o.d"
+  "CMakeFiles/kompics_core.dir/kompics.cpp.o"
+  "CMakeFiles/kompics_core.dir/kompics.cpp.o.d"
+  "CMakeFiles/kompics_core.dir/port.cpp.o"
+  "CMakeFiles/kompics_core.dir/port.cpp.o.d"
+  "CMakeFiles/kompics_core.dir/work_stealing_scheduler.cpp.o"
+  "CMakeFiles/kompics_core.dir/work_stealing_scheduler.cpp.o.d"
+  "libkompics_core.a"
+  "libkompics_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kompics_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kompics_net.dir/compression.cpp.o"
+  "CMakeFiles/kompics_net.dir/compression.cpp.o.d"
+  "CMakeFiles/kompics_net.dir/tcp_network.cpp.o"
+  "CMakeFiles/kompics_net.dir/tcp_network.cpp.o.d"
+  "libkompics_net.a"
+  "libkompics_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kompics_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kompics_sim.dir/scenario.cpp.o"
+  "CMakeFiles/kompics_sim.dir/scenario.cpp.o.d"
+  "libkompics_sim.a"
+  "libkompics_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kompics_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kompics_timing.dir/thread_timer.cpp.o"
+  "CMakeFiles/kompics_timing.dir/thread_timer.cpp.o.d"
+  "libkompics_timing.a"
+  "libkompics_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kompics_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

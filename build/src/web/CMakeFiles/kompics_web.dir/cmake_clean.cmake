@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kompics_web.dir/http_server.cpp.o"
+  "CMakeFiles/kompics_web.dir/http_server.cpp.o.d"
+  "libkompics_web.a"
+  "libkompics_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kompics_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkompics_web.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abd_protocol_test.dir/abd_protocol_test.cpp.o"
+  "CMakeFiles/abd_protocol_test.dir/abd_protocol_test.cpp.o.d"
+  "abd_protocol_test"
+  "abd_protocol_test.pdb"
+  "abd_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abd_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

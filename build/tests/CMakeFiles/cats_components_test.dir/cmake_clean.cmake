@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_components_test.dir/cats_components_test.cpp.o"
+  "CMakeFiles/cats_components_test.dir/cats_components_test.cpp.o.d"
+  "cats_components_test"
+  "cats_components_test.pdb"
+  "cats_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_partition_test.dir/cats_partition_test.cpp.o"
+  "CMakeFiles/cats_partition_test.dir/cats_partition_test.cpp.o.d"
+  "cats_partition_test"
+  "cats_partition_test.pdb"
+  "cats_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_property_test.dir/cats_property_test.cpp.o"
+  "CMakeFiles/cats_property_test.dir/cats_property_test.cpp.o.d"
+  "cats_property_test"
+  "cats_property_test.pdb"
+  "cats_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_sim_test.dir/cats_sim_test.cpp.o"
+  "CMakeFiles/cats_sim_test.dir/cats_sim_test.cpp.o.d"
+  "cats_sim_test"
+  "cats_sim_test.pdb"
+  "cats_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cats_tcp_test.cpp" "tests/CMakeFiles/cats_tcp_test.dir/cats_tcp_test.cpp.o" "gcc" "tests/CMakeFiles/cats_tcp_test.dir/cats_tcp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cats/CMakeFiles/cats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kompics_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kompics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/kompics_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/kompics/CMakeFiles/kompics_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_tcp_test.dir/cats_tcp_test.cpp.o"
+  "CMakeFiles/cats_tcp_test.dir/cats_tcp_test.cpp.o.d"
+  "cats_tcp_test"
+  "cats_tcp_test.pdb"
+  "cats_tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

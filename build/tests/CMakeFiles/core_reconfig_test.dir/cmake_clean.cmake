@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_reconfig_test.dir/core_reconfig_test.cpp.o"
+  "CMakeFiles/core_reconfig_test.dir/core_reconfig_test.cpp.o.d"
+  "core_reconfig_test"
+  "core_reconfig_test.pdb"
+  "core_reconfig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_reconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

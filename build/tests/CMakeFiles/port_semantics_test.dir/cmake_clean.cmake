@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_semantics_test.dir/port_semantics_test.cpp.o"
+  "CMakeFiles/port_semantics_test.dir/port_semantics_test.cpp.o.d"
+  "port_semantics_test"
+  "port_semantics_test.pdb"
+  "port_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

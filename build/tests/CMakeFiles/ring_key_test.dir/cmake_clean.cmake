@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_key_test.dir/ring_key_test.cpp.o"
+  "CMakeFiles/ring_key_test.dir/ring_key_test.cpp.o.d"
+  "ring_key_test"
+  "ring_key_test.pdb"
+  "ring_key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zz_t1.dir/zz_t1.cpp.o"
+  "CMakeFiles/zz_t1.dir/zz_t1.cpp.o.d"
+  "zz_t1"
+  "zz_t1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zz_t1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

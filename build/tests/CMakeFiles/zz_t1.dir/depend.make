@@ -1,0 +1,2 @@
+# Empty dependencies file for zz_t1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_basics_test[1]_include.cmake")
+include("/root/repo/build/tests/net_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/cats_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_lifecycle_test[1]_include.cmake")
+include("/root/repo/build/tests/core_reconfig_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/timer_test[1]_include.cmake")
+include("/root/repo/build/tests/linearizability_test[1]_include.cmake")
+include("/root/repo/build/tests/ring_key_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_network_test[1]_include.cmake")
+include("/root/repo/build/tests/cats_components_test[1]_include.cmake")
+include("/root/repo/build/tests/web_test[1]_include.cmake")
+include("/root/repo/build/tests/api_contract_test[1]_include.cmake")
+include("/root/repo/build/tests/cats_tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/port_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/abd_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/cats_property_test[1]_include.cmake")
+include("/root/repo/build/tests/router_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/cats_partition_test[1]_include.cmake")

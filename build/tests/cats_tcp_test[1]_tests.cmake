@@ -1,0 +1,3 @@
+add_test([=[CatsOverTcp.ClusterConvergesAndServesLinearizableOps]=]  /root/repo/build/tests/cats_tcp_test [==[--gtest_filter=CatsOverTcp.ClusterConvergesAndServesLinearizableOps]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[CatsOverTcp.ClusterConvergesAndServesLinearizableOps]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  cats_tcp_test_TESTS CatsOverTcp.ClusterConvergesAndServesLinearizableOps)
