@@ -8,6 +8,8 @@
 // clients are hidden from the complexity and event-driven control flow
 // internal to the component" (§4.1).
 
+#include <atomic>
+
 #include "cats/abd.hpp"
 #include "cats/bootstrap.hpp"
 #include "cats/cyclon.hpp"
@@ -30,7 +32,9 @@ class CatsNode : public ComponentDefinition {
   CatsNode(NodeRef self, Address bootstrap_server, Address monitor_server, CatsParams params);
 
   const NodeRef& self() const { return self_; }
-  bool ready() const { return ready_; }
+  /// Safe to poll from outside the component (tests, status pages) while
+  /// handlers flip it on a worker thread.
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
 
   // Child handles exposed for tests and status inspection.
   Component fd, cyclon, ring, router, abd, bootstrap_client, monitor_client;
@@ -47,7 +51,8 @@ class CatsNode : public ComponentDefinition {
   NodeRef self_;
   CatsParams params_;
   timing::TimeoutId join_check_id_ = 0;
-  bool ready_ = false;
+  // Atomic: read by ready() from arbitrary threads; written in handlers.
+  std::atomic<bool> ready_{false};
   bool orphaned_ = false;
   TimeMs last_refresh_ = 0;
   std::vector<NodeRef> contacts_;

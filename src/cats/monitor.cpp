@@ -43,6 +43,7 @@ MonitorServer::MonitorServer() {
   subscribe<Init>(control(), [this](const Init& init) { self_ = init.self; });
 
   subscribe<StatusReportMsg>(network_, [this](const StatusReportMsg& msg) {
+    std::lock_guard<std::mutex> g(view_mu_);
     ++reports_received_;
     NodeReport& r = view_[msg.node.addr];
     r.node = msg.node;
@@ -52,13 +53,17 @@ MonitorServer::MonitorServer() {
 
   subscribe<StatusRequest>(status_, [this](const StatusRequest& req) {
     std::map<std::string, std::string> fields;
-    fields["nodes_reporting"] = std::to_string(view_.size());
-    fields["reports_received"] = std::to_string(reports_received_);
+    {
+      std::lock_guard<std::mutex> g(view_mu_);
+      fields["nodes_reporting"] = std::to_string(view_.size());
+      fields["reports_received"] = std::to_string(reports_received_);
+    }
     trigger(make_event<StatusResponse>(req.id, "MonitorServer", std::move(fields)), status_);
   });
 }
 
 std::string MonitorServer::render_text() const {
+  std::lock_guard<std::mutex> g(view_mu_);
   std::string out = "=== CATS global view: " + std::to_string(view_.size()) + " node(s) ===\n";
   for (const auto& [addr, report] : view_) {
     out += report.node.addr.to_node_string() + " (key " + ring_key_str(report.node.key) + ")\n";

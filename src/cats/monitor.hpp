@@ -10,6 +10,7 @@
 // responses for one round are aggregated into a single StatusReportMsg.
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "cats/messages.hpp"
@@ -71,7 +72,13 @@ class MonitorServer : public ComponentDefinition {
     std::map<std::string, std::string> fields;
   };
 
-  const std::map<Address, NodeReport>& global_view() const { return view_; }
+  /// Snapshot of the aggregated view. Returns a copy: callers poll this
+  /// from outside the component (status pages, examples, tests) while the
+  /// report handler keeps mutating the map on a worker thread.
+  std::map<Address, NodeReport> global_view() const {
+    std::lock_guard<std::mutex> g(view_mu_);
+    return view_;
+  }
   std::string render_text() const;
 
  private:
@@ -79,6 +86,10 @@ class MonitorServer : public ComponentDefinition {
   Positive<net::Network> network_ = require<net::Network>();
 
   Address self_;
+  // Guards view_ and reports_received_ against external readers; handlers
+  // are already serialized per component but render_text()/global_view()
+  // run on whatever thread owns the MonitorServer handle.
+  mutable std::mutex view_mu_;
   std::map<Address, NodeReport> view_;
   std::uint64_t reports_received_ = 0;
 };

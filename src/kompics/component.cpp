@@ -20,8 +20,14 @@ ComponentCore::ComponentCore(Runtime* runtime, ComponentCore* parent, std::uint6
 }
 
 ComponentCore::~ComponentCore() {
-  // No concurrency at this point: the last shared_ptr just dropped, so no
-  // scheduler token and no producer can reference this core.
+  // Destroy the definition FIRST: definitions may own threads (TcpNetwork's
+  // I/O loop, HttpServer's acceptor, ThreadTimer) that trigger into this
+  // core's ports until their destructor joins them. Members are destroyed
+  // in reverse declaration order, which would free the port pairs before
+  // definition_ — a use-after-free for any still-running owned thread.
+  definition_.reset();
+  // No concurrency from here on: the definition's threads are joined and
+  // the last shared_ptr just dropped, so no producer can reference us.
   drain_all_queues();
 }
 
@@ -195,7 +201,12 @@ ComponentCore::WorkItem* ComponentCore::next_item() {
 }
 
 void ComponentCore::execute() {
-  if (WorkItem* item = next_item()) run_item(item);
+  {
+    // Guard must end before complete_one(): the re-schedule inside it can
+    // legitimately hand this core to another worker immediately.
+    KOMPICS_ASSERT_SINGLE_CONSUMER(executing_);
+    if (WorkItem* item = next_item()) run_item(item);
+  }
   complete_one();
 }
 
@@ -211,7 +222,9 @@ void ComponentCore::run_item(WorkItem* item) {
     definition_->current_event_ = event;
   }
   for (const auto& s : subs) {
-    if (!s->active) continue;  // unsubscribed by an earlier handler this round
+    // Unsubscribed by an earlier handler this round (or concurrently by
+    // another component's handler via a shared SubscriptionRef).
+    if (!s->active.load(std::memory_order_acquire)) continue;
     try {
       s->invoke(*event);
     } catch (...) {
@@ -397,6 +410,11 @@ void ComponentCore::retire_into(ComponentCorePtr successor) {
 }
 
 void ComponentCore::destroy_tree() {
+  // Stop definition-owned threads (ThreadTimer, TcpNetwork, HttpServer...)
+  // before touching any structure. The recursion below halts every
+  // definition in the subtree before children_.clear() can free a single
+  // core, so no owned thread can trigger into a dying component.
+  if (definition_ != nullptr) definition_->halt();
   std::vector<ComponentCorePtr> kids = children();
   for (const auto& child : kids) child->destroy_tree();
   {

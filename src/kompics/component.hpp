@@ -29,6 +29,7 @@
 #include "channel.hpp"
 #include "clock.hpp"
 #include "config.hpp"
+#include "debug.hpp"
 #include "event.hpp"
 #include "handler.hpp"
 #include "lifecycle.hpp"
@@ -201,6 +202,7 @@ class ComponentCore : public std::enable_shared_from_this<ComponentCore> {
   std::deque<WorkItem*> replay_normal_;     // consumer-only
   std::deque<WorkItem*> parked_control_;    // waiting for Init
   std::deque<WorkItem*> parked_normal_;     // waiting for Start
+  KOMPICS_SINGLE_CONSUMER_FLAG(executing_);  // §3: one worker at a time
   std::atomic<LifecycleState> state_{LifecycleState::kPassive};
   std::atomic<bool> needs_init_{false};
   bool init_done_ = false;  // consumer-only
@@ -219,6 +221,14 @@ class ComponentDefinition {
 
   ComponentDefinition(const ComponentDefinition&) = delete;
   ComponentDefinition& operator=(const ComponentDefinition&) = delete;
+
+  /// Teardown hook: stop and join any threads this definition owns.
+  /// destroy_tree() calls it on every definition in the subtree before any
+  /// channel is detached or any core can be freed, so an owned thread never
+  /// fires into a component that is already (partially) destroyed. Must be
+  /// idempotent; the destructor must still stop the threads itself for
+  /// definitions that are dropped without going through destroy_tree().
+  virtual void halt() {}
 
  protected:
   ComponentDefinition();

@@ -1,0 +1,113 @@
+#pragma once
+
+// Debug/diagnostics layer for the runtime's concurrency invariants.
+//
+// Three facilities, all free in release builds:
+//
+//   - KOMPICS_ASSERT(cond, msg): invariant checks that are compiled in when
+//     KOMPICS_DEBUG_ASSERTS is defined (Debug builds and every
+//     KOMPICS_SANITIZE build — the CMake option defines it) and compiled
+//     out otherwise. Failures abort with file:line so sanitizer runs keep a
+//     usable stack.
+//
+//   - KOMPICS_TSAN_HAPPENS_BEFORE/AFTER(addr): ThreadSanitizer ordering
+//     annotations, no-ops unless the TU is built with -fsanitize=thread.
+//     Used to document the Vyukov MPSC queue's push->pop handoff edge.
+//
+//   - SingleConsumerGuard / KOMPICS_ASSERT_SINGLE_CONSUMER: a debug-only
+//     RAII check that a code region declared single-consumer (MpscQueue
+//     pop/empty, ComponentCore::execute) is never entered by two threads at
+//     once — turning a silent discipline violation into an immediate abort.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+// ---- sanitizer detection --------------------------------------------------
+
+#if defined(__SANITIZE_THREAD__)
+#define KOMPICS_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define KOMPICS_TSAN_ENABLED 1
+#endif
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define KOMPICS_ASAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define KOMPICS_ASAN_ENABLED 1
+#endif
+#endif
+
+// ---- TSan annotations -----------------------------------------------------
+
+#if defined(KOMPICS_TSAN_ENABLED)
+extern "C" {
+void AnnotateHappensBefore(const char* file, int line, const volatile void* addr);
+void AnnotateHappensAfter(const char* file, int line, const volatile void* addr);
+}
+#define KOMPICS_TSAN_HAPPENS_BEFORE(addr) AnnotateHappensBefore(__FILE__, __LINE__, addr)
+#define KOMPICS_TSAN_HAPPENS_AFTER(addr) AnnotateHappensAfter(__FILE__, __LINE__, addr)
+#else
+#define KOMPICS_TSAN_HAPPENS_BEFORE(addr) ((void)0)
+#define KOMPICS_TSAN_HAPPENS_AFTER(addr) ((void)0)
+#endif
+
+// ---- invariant checks -----------------------------------------------------
+
+#if !defined(KOMPICS_DEBUG_ASSERTS) && \
+    (!defined(NDEBUG) || defined(KOMPICS_TSAN_ENABLED) || defined(KOMPICS_ASAN_ENABLED))
+#define KOMPICS_DEBUG_ASSERTS 1
+#endif
+
+#if defined(KOMPICS_DEBUG_ASSERTS)
+#define KOMPICS_ASSERT(cond, msg)                                                     \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::fprintf(stderr, "KOMPICS_ASSERT failed at %s:%d: %s — %s\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                             \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+#else
+#define KOMPICS_ASSERT(cond, msg) ((void)0)
+#endif
+
+namespace kompics::debug {
+
+#if defined(KOMPICS_DEBUG_ASSERTS)
+/// Aborts if two threads are inside guarded regions on the same flag at
+/// once. Attach one flag per protected resource.
+class SingleConsumerGuard {
+ public:
+  explicit SingleConsumerGuard(std::atomic<bool>& flag) : flag_(flag) {
+    const bool was_occupied = flag_.exchange(true, std::memory_order_acquire);
+    KOMPICS_ASSERT(!was_occupied, "single-consumer discipline violated: concurrent entry");
+  }
+  ~SingleConsumerGuard() { flag_.store(false, std::memory_order_release); }
+
+  SingleConsumerGuard(const SingleConsumerGuard&) = delete;
+  SingleConsumerGuard& operator=(const SingleConsumerGuard&) = delete;
+
+ private:
+  std::atomic<bool>& flag_;
+};
+#endif
+
+}  // namespace kompics::debug
+
+/// Declares the per-resource flag a KOMPICS_ASSERT_SINGLE_CONSUMER uses.
+/// Always declared (one byte, dwarfed by cache-line padding) so member
+/// lists don't change shape between build modes.
+#define KOMPICS_SINGLE_CONSUMER_FLAG(name) std::atomic<bool> name{false}
+
+#if defined(KOMPICS_DEBUG_ASSERTS)
+#define KOMPICS_CONCAT_IMPL(a, b) a##b
+#define KOMPICS_CONCAT(a, b) KOMPICS_CONCAT_IMPL(a, b)
+#define KOMPICS_ASSERT_SINGLE_CONSUMER(flag) \
+  ::kompics::debug::SingleConsumerGuard KOMPICS_CONCAT(kompics_scg_, __LINE__)(flag)
+#else
+#define KOMPICS_ASSERT_SINGLE_CONSUMER(flag) ((void)(flag))
+#endif

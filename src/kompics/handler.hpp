@@ -7,6 +7,7 @@
 // never executes two handlers of the same component concurrently — so
 // handlers may freely mutate component-local state.
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -49,7 +50,9 @@ struct Subscription {
   PortCore* half = nullptr;
   std::function<bool(const Event&)> accepts;
   std::function<void(const Event&)> invoke;
-  bool active = true;
+  // Cleared under the port lock by unsubscribe but also read lock-free by
+  // the executing worker (ComponentCore::run_item), hence atomic.
+  std::atomic<bool> active{true};
 };
 
 using SubscriptionRef = std::shared_ptr<Subscription>;

@@ -9,6 +9,8 @@
 
 #include <atomic>
 
+#include "debug.hpp"
+
 namespace kompics {
 
 template <class Node>
@@ -21,6 +23,7 @@ class MpscQueue {
 
   /// Multi-producer push. `Node` must have a `std::atomic<Node*> next`.
   void push(Node* n) {
+    KOMPICS_TSAN_HAPPENS_BEFORE(n);
     n->next.store(nullptr, std::memory_order_relaxed);
     Node* prev = head_.exchange(n, std::memory_order_acq_rel);
     prev->next.store(n, std::memory_order_release);
@@ -30,6 +33,7 @@ class MpscQueue {
   /// separate work counter; when the counter says an item exists, this pop
   /// spins through the brief producer push window rather than losing it.
   Node* pop() {
+    KOMPICS_ASSERT_SINGLE_CONSUMER(consuming_);
     Node* tail = tail_;
     Node* next = tail->next.load(std::memory_order_acquire);
     if (tail == &stub_) {
@@ -43,21 +47,25 @@ class MpscQueue {
     }
     if (next != nullptr) {
       tail_ = next;
+      KOMPICS_TSAN_HAPPENS_AFTER(tail);
       return tail;
     }
     if (head_.load(std::memory_order_acquire) != tail) {
       // Producer between exchange and next-store; its node is imminent.
       tail_ = spin_for_next(tail);
+      KOMPICS_TSAN_HAPPENS_AFTER(tail);
       return tail;
     }
     // Exactly one real node: re-insert the stub so it becomes poppable.
     push(&stub_);
     tail_ = spin_for_next(tail);
+    KOMPICS_TSAN_HAPPENS_AFTER(tail);
     return tail;
   }
 
   /// Consumer-only emptiness check (approximate under concurrent pushes).
   bool empty() const {
+    KOMPICS_ASSERT_SINGLE_CONSUMER(consuming_);
     return tail_ == &stub_ && head_.load(std::memory_order_acquire) == &stub_;
   }
 
@@ -73,6 +81,7 @@ class MpscQueue {
   alignas(64) std::atomic<Node*> head_;  // producers
   alignas(64) Node* tail_;               // consumer only
   Node stub_;
+  mutable KOMPICS_SINGLE_CONSUMER_FLAG(consuming_);
 };
 
 }  // namespace kompics

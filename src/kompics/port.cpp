@@ -75,7 +75,7 @@ void PortCore::add_subscription(const SubscriptionRef& s) {
 
 void PortCore::remove_subscription(const SubscriptionRef& s) {
   std::lock_guard<std::mutex> g(mu_);
-  s->active = false;
+  s->active.store(false, std::memory_order_release);
   subs_.erase(std::remove(subs_.begin(), subs_.end(), s), subs_.end());
 }
 

@@ -36,12 +36,20 @@ void WorkStealingScheduler::start() {
 }
 
 void WorkStealingScheduler::shutdown() {
-  if (!running_.exchange(false)) return;
+  running_.store(false, std::memory_order_release);
   stop_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> g(sleep_mu_);
     sleep_cv_.notify_all();
   }
+  // A worker calling shutdown — the unhandled-fault policy does — only
+  // signals: it cannot join itself, and joining its siblings while one of
+  // them contends for the same join step would deadlock. Reaping is left
+  // to external callers (Runtime::shutdown from user code, the scheduler
+  // destructor), which can always block; join_mu_ serializes them so two
+  // externals never join the same handle.
+  if (tl_identity.scheduler == this) return;
+  std::lock_guard<std::mutex> g(join_mu_);
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
@@ -55,6 +63,9 @@ void WorkStealingScheduler::schedule(ComponentCorePtr component) {
     target = round_robin_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   }
   push_to(target, std::move(component));
+  // Release-bump after the push so a parked worker that observes the new
+  // epoch also observes the enqueued work when it goes to steal.
+  work_epoch_.fetch_add(1, std::memory_order_release);
   wake_one();
 }
 
@@ -114,8 +125,8 @@ ComponentCorePtr WorkStealingScheduler::try_steal(std::size_t self) {
     for (auto& c : batch) me.queue.push_back(std::move(c));
     me.size.store(me.queue.size(), std::memory_order_release);
   }
-  ++me.steals;
-  me.stolen += batch.size() + 1;
+  me.steals.fetch_add(1, std::memory_order_relaxed);
+  me.stolen.fetch_add(batch.size() + 1, std::memory_order_relaxed);
   return first;
 }
 
@@ -131,26 +142,35 @@ void WorkStealingScheduler::worker_main(std::size_t index) {
   Worker& me = *workers_[index];
   int spins = 0;
   while (!stop_.load(std::memory_order_acquire)) {
+    // Snapshot the epoch BEFORE looking for work: anything scheduled after
+    // this point changes the epoch and defeats the park below, and anything
+    // scheduled before it is visible to the pop/steal attempts that follow.
+    const std::uint64_t epoch = work_epoch_.load(std::memory_order_acquire);
     ComponentCorePtr c = pop_local(me);
     if (c == nullptr) c = try_steal(index);
     if (c != nullptr) {
       spins = 0;
+      // Count before executing: the execution completes the unit inside
+      // execute() (complete_one), so counting afterwards would let an
+      // observer see quiescence while the last increment is still pending.
+      me.executed.fetch_add(1, std::memory_order_relaxed);
       c->execute();
-      ++me.executed;
       continue;
     }
     if (++spins < 64) {
       std::this_thread::yield();
       continue;
     }
-    // Park until new work is scheduled anywhere.
-    ++me.parks;
+    // Park until new work is scheduled anywhere (not just on our own
+    // queue — an epoch change means some queue got work we can steal).
+    me.parks.fetch_add(1, std::memory_order_relaxed);
     sleepers_.fetch_add(1, std::memory_order_acq_rel);
     {
       std::unique_lock<std::mutex> lock(sleep_mu_);
-      sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [this, &me] {
+      sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [this, &me, epoch] {
         return stop_.load(std::memory_order_acquire) ||
-               me.size.load(std::memory_order_acquire) > 0;
+               me.size.load(std::memory_order_acquire) > 0 ||
+               work_epoch_.load(std::memory_order_acquire) != epoch;
       });
     }
     sleepers_.fetch_sub(1, std::memory_order_acq_rel);
@@ -162,10 +182,10 @@ void WorkStealingScheduler::worker_main(std::size_t index) {
 WorkStealingScheduler::Stats WorkStealingScheduler::stats() const {
   Stats s;
   for (const auto& w : workers_) {
-    s.executed += w->executed;
-    s.steals += w->steals;
-    s.stolen_components += w->stolen;
-    s.parks += w->parks;
+    s.executed += w->executed.load(std::memory_order_relaxed);
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.stolen_components += w->stolen.load(std::memory_order_relaxed);
+    s.parks += w->parks.load(std::memory_order_relaxed);
   }
   return s;
 }

@@ -58,10 +58,13 @@ class WorkStealingScheduler final : public Scheduler {
     std::deque<ComponentCorePtr> queue;
     std::atomic<std::size_t> size{0};
     std::thread thread;
-    std::uint64_t executed = 0;
-    std::uint64_t steals = 0;
-    std::uint64_t stolen = 0;
-    std::uint64_t parks = 0;
+    // Counters are written by the owning worker thread but read by any
+    // thread through stats(); relaxed atomics make that race-free without
+    // ordering cost on the hot path.
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> parks{0};
   };
 
   void worker_main(std::size_t index);
@@ -76,9 +79,16 @@ class WorkStealingScheduler final : public Scheduler {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
 
+  // Serializes the join loop in shutdown(); see the comment there.
+  std::mutex join_mu_;
+
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
   std::atomic<int> sleepers_{0};
+  // Bumped by every schedule(); parked workers wait on it changing so a
+  // sleeper notified for work pushed to *another* worker's queue wakes up
+  // and steals instead of re-sleeping on its own empty queue.
+  std::atomic<std::uint64_t> work_epoch_{0};
 };
 
 }  // namespace kompics

@@ -43,6 +43,10 @@ class TcpNetwork : public ComponentDefinition {
   TcpNetwork();
   ~TcpNetwork() override;
 
+  /// Joins the I/O thread so in-flight frames stop being delivered before
+  /// the component tree around this network is torn down.
+  void halt() override { shutdown_io(); }
+
   struct Counters {
     std::uint64_t messages_sent = 0;
     std::uint64_t messages_received = 0;

@@ -15,7 +15,9 @@ ThreadTimer::ThreadTimer() {
   });
   subscribe<CancelTimeout>(timer_, [this](const CancelTimeout& ct) {
     std::lock_guard<std::mutex> g(mu_);
-    cancelled_.insert(ct.id());
+    // Only record cancellations that a pending heap entry will consume;
+    // cancel-after-fire and cancel-of-unknown-id must not leak the id.
+    if (armed_.count(ct.id()) != 0) cancelled_.insert(ct.id());
   });
   subscribe<Start>(control(), [this](const Start&) { ensure_thread(); });
   subscribe<Stop>(control(), [this](const Stop&) { stop_thread(); });
@@ -26,9 +28,20 @@ ThreadTimer::~ThreadTimer() { stop_thread(); }
 void ThreadTimer::arm(std::int64_t delay_ms, std::int64_t period_ms, TimeoutPtr payload) {
   ensure_thread();
   std::lock_guard<std::mutex> g(mu_);
+  ++armed_[payload->id()];
   heap_.push(Entry{now() + std::max<std::int64_t>(0, delay_ms), seq_++, std::move(payload),
                    period_ms});
   cv_.notify_one();
+}
+
+std::size_t ThreadTimer::pending_cancellations() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return cancelled_.size();
+}
+
+std::size_t ThreadTimer::armed_timeouts() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return armed_.size();
 }
 
 void ThreadTimer::ensure_thread() {
@@ -67,11 +80,15 @@ void ThreadTimer::timer_main() {
     }
     Entry e = heap_.top();
     heap_.pop();
-    if (cancelled_.count(e.payload->id()) != 0) {
-      cancelled_.erase(e.payload->id());  // consumed; periodic entries are not re-armed
+    const TimeoutId id = e.payload->id();
+    auto armed_it = armed_.find(id);
+    if (armed_it != armed_.end() && --armed_it->second == 0) armed_.erase(armed_it);
+    if (cancelled_.count(id) != 0) {
+      cancelled_.erase(id);  // consumed; periodic entries are not re-armed
       continue;
     }
     if (e.period_ms >= 0) {
+      ++armed_[id];
       heap_.push(Entry{e.deadline_ms + std::max<std::int64_t>(1, e.period_ms), seq_++, e.payload,
                        e.period_ms});
     }

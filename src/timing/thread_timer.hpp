@@ -10,6 +10,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -22,6 +23,17 @@ class ThreadTimer : public ComponentDefinition {
  public:
   ThreadTimer();
   ~ThreadTimer() override;
+
+  /// Joins the timer thread; without this, pending deadlines keep firing
+  /// into sibling components while the tree is being torn down.
+  void halt() override { stop_thread(); }
+
+  /// Cancellations recorded but not yet consumed by a firing entry. Stays
+  /// bounded: cancelling an id with no armed heap entry (already fired, or
+  /// never armed) is a no-op instead of leaking into this set forever.
+  std::size_t pending_cancellations() const;
+  /// Distinct timeout ids with at least one entry still in the heap.
+  std::size_t armed_timeouts() const;
 
  private:
   struct Entry {
@@ -42,10 +54,14 @@ class ThreadTimer : public ComponentDefinition {
 
   Negative<Timer> timer_ = provide<Timer>();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::unordered_set<TimeoutId> cancelled_;
+  // id -> number of heap entries carrying it. Lets the cancel path tell a
+  // pending timeout (record the cancellation) from one that already fired
+  // or never existed (ignore — recording it would leak the id forever).
+  std::unordered_map<TimeoutId, std::size_t> armed_;
   std::uint64_t seq_ = 0;
   bool stop_ = false;
   bool thread_running_ = false;

@@ -67,6 +67,30 @@ void HttpServer::stop_accepting() {
   ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
   listen_fd_ = -1;
+  // Fail every request still parked in serve_connection: the application
+  // will not answer once the server is stopping, and the joins below must
+  // not sit out each request's full timeout.
+  {
+    std::lock_guard<std::mutex> g(pending_mu_);
+    for (auto& [id, p] : pending_) {
+      std::lock_guard<std::mutex> pg(p->mu);
+      p->done = true;
+      p->status = 503;
+      p->content_type = "text/plain";
+      p->body = "server shutting down";
+      p->cv.notify_all();
+    }
+    pending_.clear();
+  }
+  // The accept thread is gone, so conn_threads_ can only shrink from here.
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> g(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (auto& t : conns) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void HttpServer::accept_main() {
@@ -77,8 +101,14 @@ void HttpServer::accept_main() {
       continue;
     }
     // Connections are short-lived (HTTP/1.0, Connection: close); serve each
-    // in a detached worker so a slow client cannot stall the accept loop.
-    std::thread([this, fd] { serve_connection(fd); }).detach();
+    // in its own worker so a slow client cannot stall the accept loop. The
+    // handle is kept — never detached — so stop_accepting() can join it:
+    // a detached worker could outlive the server and write freed memory.
+    std::thread conn([this, fd] { serve_connection(fd); });
+    {
+      std::lock_guard<std::mutex> g(conn_mu_);
+      conn_threads_.push_back(std::move(conn));
+    }
   }
 }
 

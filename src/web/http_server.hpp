@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "kompics/component.hpp"
 #include "kompics/kompics.hpp"
@@ -33,6 +34,10 @@ class HttpServer : public ComponentDefinition {
 
   HttpServer();
   ~HttpServer() override;
+
+  /// Joins the accept thread and every connection worker; a worker that
+  /// outlived the server used to touch freed state when answering slowly.
+  void halt() override { stop_accepting(); }
 
   std::uint16_t port() const { return listen_.port; }
   std::uint64_t requests_served() const { return served_.load(std::memory_order_relaxed); }
@@ -59,6 +64,10 @@ class HttpServer : public ComponentDefinition {
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
+  // One handle per connection served; all joined in stop_accepting(). Kept
+  // instead of detaching so no worker can outlive the server object.
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
 
   std::mutex pending_mu_;
   std::map<std::uint64_t, std::shared_ptr<PendingResponse>> pending_;

@@ -312,8 +312,9 @@ TEST(Monitor, ClientAggregatesStatusAndServerBuildsGlobalView) {
   auto& server = main.definition_as<World>()
                      .server.definition_as<Machine<MonitorServer>>()
                      .proto.definition_as<MonitorServer>();
-  ASSERT_EQ(server.global_view().size(), 1u);
-  const auto& report = server.global_view().begin()->second;
+  const auto view = server.global_view();  // snapshot copy
+  ASSERT_EQ(view.size(), 1u);
+  const auto& report = view.begin()->second;
   EXPECT_EQ(report.node.key, 42u);
   EXPECT_EQ(report.fields.count("PingFailureDetector.monitored"), 1u);
   EXPECT_NE(server.render_text().find("node-2"), std::string::npos);

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "kompics/kompics.hpp"
 
 namespace kompics::test {
@@ -255,6 +258,64 @@ TEST(PortSemantics, RequestsFromOneClientReachProviderOnceIndicationsFanOut) {
   // requirer; request/response correlation is the application's job).
   EXPECT_EQ(def.c1.definition_as<Client>().inds, (std::vector<int>{20}));
   EXPECT_EQ(def.c2.definition_as<Client>().inds, (std::vector<int>{20}));
+}
+
+// ---- unsubscribe during dispatch (§2.2 re-matching) ---------------------------
+
+/// Two handlers for the same event on one port. While handling the first
+/// event, the first handler (gated so a second event is already enqueued)
+/// unsubscribes the second. Subscription matching happens twice: at
+/// dispatch time (to enqueue work) and again at execution time — so the
+/// unsubscribed handler must not run for either the in-flight event
+/// (unsubscribed by an earlier handler of the same round) or the queued one
+/// (re-match finds it gone).
+class SelfPruner : public ComponentDefinition {
+ public:
+  SelfPruner() {
+    first_ = subscribe<Req>(svc_, [this](const Req& r) {
+      ++first_seen;
+      if (r.n == 1) {
+        inside_handler.store(true);
+        while (!proceed.load()) std::this_thread::yield();
+        unsubscribe(second_);
+      }
+    });
+    second_ = subscribe<Req>(svc_, [this](const Req&) { ++second_seen; });
+  }
+  Negative<Svc> svc_ = provide<Svc>();
+  SubscriptionRef first_, second_;
+  std::atomic<bool> inside_handler{false};
+  std::atomic<bool> proceed{false};
+  int first_seen = 0;
+  int second_seen = 0;
+};
+
+TEST(PortSemantics, UnsubscribeDuringDispatchRematchesAtExecutionTime) {
+  class Main : public ComponentDefinition {
+   public:
+    Main() { pruner = create<SelfPruner>(); }
+    Component pruner;
+  };
+  auto rt = make_runtime();
+  auto main = rt->bootstrap<Main>();
+  auto& def = main.definition_as<Main>();
+  rt->await_quiescence();
+  auto& pruner = def.pruner.definition_as<SelfPruner>();
+
+  auto* port =
+      def.pruner.core()->find_port(std::type_index(typeid(Svc)), true)->outside.get();
+  port->trigger(make_event<Req>(1));
+  // Wait until the first handler is mid-flight, then enqueue a second event
+  // — its dispatch-time match still sees both subscriptions active.
+  while (!pruner.inside_handler.load()) std::this_thread::yield();
+  port->trigger(make_event<Req>(2));
+  pruner.proceed.store(true);
+  rt->await_quiescence();
+
+  EXPECT_EQ(pruner.first_seen, 2) << "the surviving handler sees both events";
+  EXPECT_EQ(pruner.second_seen, 0)
+      << "a handler unsubscribed by an earlier handler must not run again — not for the "
+         "event being handled, nor for already-enqueued ones (execution-time re-match)";
 }
 
 }  // namespace

@@ -265,6 +265,49 @@ TEST(WorkStealing, DisabledStealingStillCompletes) {
   }
 }
 
+// ---- stats consistency -------------------------------------------------------
+
+TEST(Stats, ExecutedMatchesScheduledAfterMultiThreadedBurst) {
+  WorkStealingScheduler::Options opts;
+  opts.workers = 4;
+  auto scheduler = std::make_unique<WorkStealingScheduler>(opts);
+  auto* sched = scheduler.get();
+  Runtime rt(Config{}, std::move(scheduler), std::make_unique<WallClock>(), 1);
+  auto main = rt.bootstrap<FarmMain>(8);
+  auto& def = main.definition_as<FarmMain>();
+  rt.await_quiescence();
+
+  // Baseline after bootstrap so lifecycle work units don't skew the ledger.
+  const auto baseline = sched->stats();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<PortCore*> ports;
+  for (auto& w : def.workers) {
+    ports.push_back(w.core()->find_port(std::type_index(typeid(TickPort)), true)->outside.get());
+  }
+  std::vector<std::thread> senders;
+  for (int t = 0; t < kThreads; ++t) {
+    senders.emplace_back([&ports, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ports[static_cast<std::size_t>((t + i) % ports.size())]->trigger(make_event<Tick>());
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  rt.await_quiescence();
+
+  constexpr std::uint64_t kTotal = kThreads * kPerThread;
+  int done = 0;
+  for (auto& w : def.workers) done += w.definition_as<Worker>().done.load();
+  EXPECT_EQ(done, static_cast<int>(kTotal));
+  // Every scheduled work unit is executed exactly once, and the per-worker
+  // counters (read concurrently, written by worker threads) add up exactly.
+  const auto stats = sched->stats();
+  EXPECT_EQ(stats.executed - baseline.executed, kTotal)
+      << "stats() must account every scheduled unit exactly once";
+}
+
 // ---- quiescence accounting -----------------------------------------------------
 
 class ChainRelay : public ComponentDefinition {

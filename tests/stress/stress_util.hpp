@@ -1,0 +1,56 @@
+#pragma once
+
+// Shared plumbing for the stress drivers in tests/stress/.
+//
+// Every driver is seeded, bounded, and reproducible:
+//   - the seed comes from $KOMPICS_STRESS_SEED or std::random_device and is
+//     ALWAYS printed, so a failing interleaving can be replayed;
+//   - $KOMPICS_STRESS_SCALE multiplies iteration counts (default 1) so CI
+//     can soak without changing code.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <random>
+#include <thread>
+
+namespace kompics::stress {
+
+/// Resolves and announces the run's seed. Call once per test.
+inline std::uint64_t announce_seed(const char* test_name) {
+  std::uint64_t seed;
+  if (const char* s = std::getenv("KOMPICS_STRESS_SEED")) {
+    seed = std::strtoull(s, nullptr, 10);
+  } else {
+    std::random_device rd;
+    seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }
+  std::printf("[stress] %s seed=%llu  (replay: KOMPICS_STRESS_SEED=%llu)\n", test_name,
+              static_cast<unsigned long long>(seed), static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+  return seed;
+}
+
+/// Iteration multiplier from $KOMPICS_STRESS_SCALE, >= 1.
+inline int scale() {
+  if (const char* s = std::getenv("KOMPICS_STRESS_SCALE")) {
+    return std::max(1, std::atoi(s));
+  }
+  return 1;
+}
+
+/// Spins (yielding) until `cond` or the budget elapses; returns cond().
+inline bool spin_until(const std::function<bool()>& cond, int budget_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() >= deadline) return cond();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+}  // namespace kompics::stress

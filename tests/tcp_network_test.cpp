@@ -3,6 +3,7 @@
 // compression path, bidirectional traffic, and failure reporting.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -80,7 +81,11 @@ class TwoNodeMain : public ComponentDefinition {
 };
 
 std::uint16_t pick_port() {
-  static std::atomic<std::uint16_t> next{29100};
+  // Base derived from the pid: ctest runs each test in its own process and
+  // may run several concurrently, so a fixed base collides across processes
+  // (bind: Address already in use). Consecutive pids land ~131 ports apart.
+  static std::atomic<std::uint16_t> next{
+      static_cast<std::uint16_t>(24000 + (static_cast<unsigned>(::getpid()) * 131u) % 4000u)};
   return next.fetch_add(1);
 }
 

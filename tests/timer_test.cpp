@@ -116,6 +116,62 @@ TEST_F(TimerFixture, ManyTimersFireInDeadlineOrderApproximately) {
   EXPECT_EQ(user->last_tag.load(), 3);
 }
 
+// ---- cancellation bookkeeping (leak regression) -----------------------------
+
+TEST_F(TimerFixture, CancelAfterFireDoesNotLeakBookkeeping) {
+  auto& timer = main.definition_as<TimerMain>().timer.definition_as<ThreadTimer>();
+  const TimeoutId id = user->one_shot(10, 1);
+  wait_until([&] { return user->fired.load() >= 1; }, 2000);
+  ASSERT_EQ(user->fired.load(), 1);
+
+  // Cancelling a timeout that already fired must be a no-op, not a
+  // permanent entry in the cancelled set.
+  user->cancel(id);
+  rt->await_quiescence();
+  EXPECT_EQ(timer.pending_cancellations(), 0u) << "cancel-after-fire leaked the id";
+  EXPECT_EQ(timer.armed_timeouts(), 0u);
+
+  // Double-cancel after fire: still nothing retained.
+  user->cancel(id);
+  user->cancel(id);
+  rt->await_quiescence();
+  EXPECT_EQ(timer.pending_cancellations(), 0u) << "double-cancel leaked the id";
+}
+
+TEST_F(TimerFixture, CancelOfNeverArmedIdDoesNotLeak) {
+  auto& timer = main.definition_as<TimerMain>().timer.definition_as<ThreadTimer>();
+  user->cancel(fresh_timeout_id());  // valid id, but never scheduled
+  user->cancel(424242424242ULL);     // arbitrary junk id
+  rt->await_quiescence();
+  EXPECT_EQ(timer.pending_cancellations(), 0u) << "never-armed cancels must be ignored";
+}
+
+TEST_F(TimerFixture, CancelBeforeExpiryIsConsumedAtDeadline) {
+  auto& timer = main.definition_as<TimerMain>().timer.definition_as<ThreadTimer>();
+  const TimeoutId id = user->one_shot(150, 5);
+  user->cancel(id);
+  rt->await_quiescence();
+  // Recorded while the entry is still armed (unless the machine stalled
+  // past the deadline, in which case it is already consumed)...
+  EXPECT_LE(timer.pending_cancellations(), 1u);
+  // ...and consumed (not delivered) when the deadline passes.
+  wait_until([&] { return timer.pending_cancellations() == 0; }, 3000);
+  EXPECT_EQ(timer.pending_cancellations(), 0u);
+  EXPECT_EQ(timer.armed_timeouts(), 0u);
+  EXPECT_EQ(user->fired.load(), 0);
+}
+
+TEST_F(TimerFixture, PeriodicCancelDrainsBookkeeping) {
+  auto& timer = main.definition_as<TimerMain>().timer.definition_as<ThreadTimer>();
+  const TimeoutId id = user->periodic(5, 10, 3);
+  wait_until([&] { return user->fired.load() >= 2; }, 3000);
+  user->cancel(id);
+  wait_until(
+      [&] { return timer.pending_cancellations() == 0 && timer.armed_timeouts() == 0; }, 3000);
+  EXPECT_EQ(timer.pending_cancellations(), 0u);
+  EXPECT_EQ(timer.armed_timeouts(), 0u) << "cancelled periodic must leave the heap";
+}
+
 TEST(TimerIds, FreshTimeoutIdsAreUnique) {
   const auto a = fresh_timeout_id();
   const auto b = fresh_timeout_id();
