@@ -19,7 +19,9 @@ using namespace kompics;
 
 namespace {
 
-class Ball : public Event {};
+class Ball : public Event {
+  KOMPICS_EVENT(Ball, Event);
+};
 
 class PingPongPort : public PortType {
  public:

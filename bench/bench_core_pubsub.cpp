@@ -13,6 +13,8 @@ using namespace kompics;
 namespace {
 
 class Tick : public Event {
+  KOMPICS_EVENT(Tick, Event);
+
  public:
   explicit Tick(int n) : n(n) {}
   int n;

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Pub-sub hot-path benchmark driver.
+#
+# Runs bench_core_pubsub (dispatch/fan-out/channel-chain/trigger-burst
+# microbenchmarks) and bench_a2_multicore (ping-pong round-trip scaling) from
+# a build tree and emits a single JSON summary, optionally comparing against
+# a previously captured baseline produced by this same script.
+#
+# Usage:
+#   scripts/bench_pubsub.sh [BUILD_DIR] [OUT_JSON] [BASELINE_JSON]
+#
+#   BUILD_DIR      build tree containing bench/ binaries   (default: build)
+#   OUT_JSON       output path                             (default: BENCH_pubsub.json)
+#   BASELINE_JSON  earlier OUT_JSON to embed as "before"   (default: none)
+#
+# Typical PR workflow:
+#   git stash / checkout the pre-change tree && build
+#   scripts/bench_pubsub.sh build /tmp/pubsub_before.json
+#   checkout the change && build
+#   scripts/bench_pubsub.sh build BENCH_pubsub.json /tmp/pubsub_before.json
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_pubsub.json}"
+BASELINE_JSON="${3:-}"
+MIN_TIME="${BENCH_MIN_TIME:-0.2}"
+
+PUBSUB_BIN="$BUILD_DIR/bench/bench_core_pubsub"
+A2_BIN="$BUILD_DIR/bench/bench_a2_multicore"
+for bin in "$PUBSUB_BIN" "$A2_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found or not executable (build the '$BUILD_DIR' tree first)" >&2
+    exit 1
+  fi
+done
+
+tmp_pubsub="$(mktemp)"
+tmp_a2="$(mktemp)"
+trap 'rm -f "$tmp_pubsub" "$tmp_a2"' EXIT
+
+echo "[bench_pubsub] running bench_core_pubsub (min_time=$MIN_TIME)..." >&2
+"$PUBSUB_BIN" --benchmark_format=json --benchmark_min_time="$MIN_TIME" >"$tmp_pubsub"
+
+echo "[bench_pubsub] running bench_a2_multicore..." >&2
+"$A2_BIN" >"$tmp_a2"
+
+python3 - "$tmp_pubsub" "$tmp_a2" "$OUT_JSON" "$BASELINE_JSON" <<'PY'
+import json, re, subprocess, sys
+
+pubsub_path, a2_path, out_path, baseline_path = sys.argv[1:5]
+
+raw = json.load(open(pubsub_path))
+micro = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    micro[b["name"]] = {
+        "real_time_ns": b.get("real_time"),
+        "items_per_second": b.get("items_per_second"),
+    }
+
+a2 = {}
+for line in open(a2_path):
+    m = re.match(r"\s*(\d+)\s+(\d+)\s+[\d.]+x\s*$", line)
+    if m:
+        a2[f"workers_{m.group(1)}"] = {"round_trips_per_second": int(m.group(2))}
+
+try:
+    rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True).stdout.strip() or None
+except OSError:
+    rev = None
+
+result = {
+    "schema": "kompics-bench-pubsub-v1",
+    "context": {
+        "date": raw.get("context", {}).get("date"),
+        "host": raw.get("context", {}).get("host_name"),
+        "num_cpus": raw.get("context", {}).get("num_cpus"),
+        "git_rev": rev,
+    },
+    "bench_core_pubsub": micro,
+    "bench_a2_multicore": a2,
+}
+
+if baseline_path:
+    base = json.load(open(baseline_path))
+    # Accept either a previous output of this script or a raw
+    # google-benchmark JSON dump as the baseline.
+    if "bench_core_pubsub" in base:
+        base_micro = base["bench_core_pubsub"]
+        base_a2 = base.get("bench_a2_multicore", {})
+    else:
+        base_micro = {
+            b["name"]: {
+                "real_time_ns": b.get("real_time"),
+                "items_per_second": b.get("items_per_second"),
+            }
+            for b in base.get("benchmarks", [])
+        }
+        base_a2 = {}
+    result["baseline"] = {
+        "bench_core_pubsub": base_micro,
+        "bench_a2_multicore": base_a2,
+    }
+    speedups = {}
+    for name, cur in micro.items():
+        old = base_micro.get(name)
+        if old and old.get("items_per_second") and cur.get("items_per_second"):
+            speedups[name] = round(cur["items_per_second"] / old["items_per_second"], 3)
+    for name, cur in a2.items():
+        old = base_a2.get(name)
+        if old and old.get("round_trips_per_second"):
+            speedups["a2_" + name] = round(
+                cur["round_trips_per_second"] / old["round_trips_per_second"], 3)
+    result["speedup_vs_baseline"] = speedups
+
+json.dump(result, open(out_path, "w"), indent=2)
+print(f"[bench_pubsub] wrote {out_path}")
+for name in sorted(result.get("speedup_vs_baseline", {})):
+    print(f"  {name}: {result['speedup_vs_baseline'][name]}x")
+PY

@@ -29,18 +29,24 @@ namespace kompics::cats {
 // ---- CatsExperiment port (paper's "CATS Experiment" abstraction) -----------
 
 class ExpJoin : public Event {
+  KOMPICS_EVENT(ExpJoin, Event);
+
  public:
   explicit ExpJoin(std::uint64_t node_id) : node_id(node_id) {}
   std::uint64_t node_id;
 };
 
 class ExpFail : public Event {
+  KOMPICS_EVENT(ExpFail, Event);
+
  public:
   explicit ExpFail(std::uint64_t node_id) : node_id(node_id) {}
   std::uint64_t node_id;
 };
 
 class ExpPut : public Event {
+  KOMPICS_EVENT(ExpPut, Event);
+
  public:
   ExpPut(std::uint64_t node_id, RingKey key, Value value)
       : node_id(node_id), key(key), value(std::move(value)) {}
@@ -50,6 +56,8 @@ class ExpPut : public Event {
 };
 
 class ExpGet : public Event {
+  KOMPICS_EVENT(ExpGet, Event);
+
  public:
   ExpGet(std::uint64_t node_id, RingKey key) : node_id(node_id), key(key) {}
   std::uint64_t node_id;
@@ -58,6 +66,8 @@ class ExpGet : public Event {
 
 /// The paper's catsLookup(node, key): resolve the key's replication group.
 class ExpLookup : public Event {
+  KOMPICS_EVENT(ExpLookup, Event);
+
  public:
   ExpLookup(std::uint64_t node_id, RingKey key) : node_id(node_id), key(key) {}
   std::uint64_t node_id;

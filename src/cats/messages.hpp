@@ -49,12 +49,16 @@ inline std::vector<NodeRef> read_node_refs(BufferReader& r) {
 // ---- failure detector ------------------------------------------------------
 
 class PingMsg : public Message {
+  KOMPICS_EVENT(PingMsg, Message);
+
  public:
   PingMsg(Address s, Address d, std::uint64_t seq) : Message(s, d), seq(seq) {}
   std::uint64_t seq;
 };
 
 class PongMsg : public Message {
+  KOMPICS_EVENT(PongMsg, Message);
+
  public:
   PongMsg(Address s, Address d, std::uint64_t seq) : Message(s, d), seq(seq) {}
   std::uint64_t seq;
@@ -68,6 +72,8 @@ struct CyclonEntry {
 };
 
 class ShuffleRequestMsg : public Message {
+  KOMPICS_EVENT(ShuffleRequestMsg, Message);
+
  public:
   ShuffleRequestMsg(Address s, Address d, std::vector<CyclonEntry> entries)
       : Message(s, d), entries(std::move(entries)) {}
@@ -75,6 +81,8 @@ class ShuffleRequestMsg : public Message {
 };
 
 class ShuffleResponseMsg : public Message {
+  KOMPICS_EVENT(ShuffleResponseMsg, Message);
+
  public:
   ShuffleResponseMsg(Address s, Address d, std::vector<CyclonEntry> entries)
       : Message(s, d), entries(std::move(entries)) {}
@@ -85,6 +93,8 @@ class ShuffleResponseMsg : public Message {
 
 /// Iteratively routed join lookup: find the successor of `target`.
 class FindSuccessorMsg : public Message {
+  KOMPICS_EVENT(FindSuccessorMsg, Message);
+
  public:
   FindSuccessorMsg(Address s, Address d, NodeRef joiner, RingKey target)
       : Message(s, d), joiner(joiner), target(target) {}
@@ -93,6 +103,8 @@ class FindSuccessorMsg : public Message {
 };
 
 class FoundSuccessorMsg : public Message {
+  KOMPICS_EVENT(FoundSuccessorMsg, Message);
+
  public:
   FoundSuccessorMsg(Address s, Address d, NodeRef successor, std::vector<NodeRef> successor_list)
       : Message(s, d), successor(successor), successor_list(std::move(successor_list)) {}
@@ -102,12 +114,16 @@ class FoundSuccessorMsg : public Message {
 
 /// Periodic stabilization probe to our successor.
 class GetRingStateMsg : public Message {
+  KOMPICS_EVENT(GetRingStateMsg, Message);
+
  public:
   GetRingStateMsg(Address s, Address d, NodeRef from) : Message(s, d), from(from) {}
   NodeRef from;
 };
 
 class RingStateMsg : public Message {
+  KOMPICS_EVENT(RingStateMsg, Message);
+
  public:
   RingStateMsg(Address s, Address d, NodeRef self, bool has_pred, NodeRef pred,
                std::vector<NodeRef> succs)
@@ -120,6 +136,8 @@ class RingStateMsg : public Message {
 
 /// Chord-style notify: "I believe I am your predecessor".
 class NotifyMsg : public Message {
+  KOMPICS_EVENT(NotifyMsg, Message);
+
  public:
   NotifyMsg(Address s, Address d, NodeRef from) : Message(s, d), from(from) {}
   NodeRef from;
@@ -139,6 +157,8 @@ struct VersionTag {
 };
 
 class AbdReadMsg : public Message {
+  KOMPICS_EVENT(AbdReadMsg, Message);
+
  public:
   AbdReadMsg(Address s, Address d, OpId op, RingKey key) : Message(s, d), op(op), key(key) {}
   OpId op;
@@ -146,6 +166,8 @@ class AbdReadMsg : public Message {
 };
 
 class AbdReadAckMsg : public Message {
+  KOMPICS_EVENT(AbdReadAckMsg, Message);
+
  public:
   AbdReadAckMsg(Address s, Address d, OpId op, RingKey key, VersionTag tag, bool exists,
                 Value value)
@@ -158,6 +180,8 @@ class AbdReadAckMsg : public Message {
 };
 
 class AbdWriteMsg : public Message {
+  KOMPICS_EVENT(AbdWriteMsg, Message);
+
  public:
   AbdWriteMsg(Address s, Address d, OpId op, RingKey key, VersionTag tag, bool exists,
               Value value)
@@ -170,6 +194,8 @@ class AbdWriteMsg : public Message {
 };
 
 class AbdWriteAckMsg : public Message {
+  KOMPICS_EVENT(AbdWriteAckMsg, Message);
+
  public:
   AbdWriteAckMsg(Address s, Address d, OpId op, RingKey key) : Message(s, d), op(op), key(key) {}
   OpId op;
@@ -182,6 +208,8 @@ class AbdWriteAckMsg : public Message {
 /// of `origin`. The responsible node answers the origin directly with a
 /// LookupResultMsg — one forwarding hop in the common (warm-table) case.
 class RouteLookupMsg : public Message {
+  KOMPICS_EVENT(RouteLookupMsg, Message);
+
  public:
   RouteLookupMsg(Address s, Address d, NodeRef origin, OpId op, RingKey key,
                  std::uint32_t group_size, std::uint32_t ttl)
@@ -194,6 +222,8 @@ class RouteLookupMsg : public Message {
 };
 
 class LookupResultMsg : public Message {
+  KOMPICS_EVENT(LookupResultMsg, Message);
+
  public:
   LookupResultMsg(Address s, Address d, OpId op, RingKey key, std::vector<NodeRef> group)
       : Message(s, d), op(op), key(key), group(std::move(group)) {}
@@ -205,12 +235,16 @@ class LookupResultMsg : public Message {
 // ---- bootstrap ------------------------------------------------------------------
 
 class BootstrapRequestMsg : public Message {
+  KOMPICS_EVENT(BootstrapRequestMsg, Message);
+
  public:
   BootstrapRequestMsg(Address s, Address d, NodeRef self) : Message(s, d), self(self) {}
   NodeRef self;
 };
 
 class BootstrapResponseMsg : public Message {
+  KOMPICS_EVENT(BootstrapResponseMsg, Message);
+
  public:
   BootstrapResponseMsg(Address s, Address d, std::vector<NodeRef> peers)
       : Message(s, d), peers(std::move(peers)) {}
@@ -218,6 +252,8 @@ class BootstrapResponseMsg : public Message {
 };
 
 class KeepAliveMsg : public Message {
+  KOMPICS_EVENT(KeepAliveMsg, Message);
+
  public:
   KeepAliveMsg(Address s, Address d, NodeRef self) : Message(s, d), self(self) {}
   NodeRef self;
@@ -226,6 +262,8 @@ class KeepAliveMsg : public Message {
 // ---- monitoring ------------------------------------------------------------------
 
 class StatusReportMsg : public Message {
+  KOMPICS_EVENT(StatusReportMsg, Message);
+
  public:
   StatusReportMsg(Address s, Address d, NodeRef node,
                   std::map<std::string, std::string> fields)

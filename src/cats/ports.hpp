@@ -34,6 +34,8 @@ using OpId = std::uint64_t;
 // ---------------------------------------------------------------------------
 
 class PutRequest : public Event {
+  KOMPICS_EVENT(PutRequest, Event);
+
  public:
   PutRequest(OpId id, RingKey key, Value value) : id(id), key(key), value(std::move(value)) {}
   OpId id;
@@ -42,6 +44,8 @@ class PutRequest : public Event {
 };
 
 class PutResponse : public Event {
+  KOMPICS_EVENT(PutResponse, Event);
+
  public:
   PutResponse(OpId id, RingKey key, bool ok) : id(id), key(key), ok(ok) {}
   OpId id;
@@ -50,6 +54,8 @@ class PutResponse : public Event {
 };
 
 class GetRequest : public Event {
+  KOMPICS_EVENT(GetRequest, Event);
+
  public:
   GetRequest(OpId id, RingKey key) : id(id), key(key) {}
   OpId id;
@@ -57,6 +63,8 @@ class GetRequest : public Event {
 };
 
 class GetResponse : public Event {
+  KOMPICS_EVENT(GetResponse, Event);
+
  public:
   GetResponse(OpId id, RingKey key, bool ok, bool found, Value value)
       : id(id), key(key), ok(ok), found(found), value(std::move(value)) {}
@@ -92,6 +100,8 @@ struct NodeRef {
 /// Instructs the ring to join via the given contact nodes (empty = found a
 /// fresh ring).
 class JoinRing : public Event {
+  KOMPICS_EVENT(JoinRing, Event);
+
  public:
   explicit JoinRing(std::vector<Address> contacts) : contacts(std::move(contacts)) {}
   std::vector<Address> contacts;
@@ -99,6 +109,8 @@ class JoinRing : public Event {
 
 /// Current ring neighborhood of this node. Emitted on every change.
 class RingView : public Event {
+  KOMPICS_EVENT(RingView, Event);
+
  public:
   RingView(NodeRef self, NodeRef predecessor, bool has_predecessor,
            std::vector<NodeRef> successors, bool sole_member)
@@ -120,6 +132,8 @@ class RingView : public Event {
 
 /// Indication that this node has completed its join protocol.
 class RingReady : public Event {
+  KOMPICS_EVENT(RingReady, Event);
+
  public:
   explicit RingReady(NodeRef self) : self(self) {}
   NodeRef self;
@@ -140,6 +154,8 @@ class Ring : public PortType {
 // ---------------------------------------------------------------------------
 
 class LookupRequest : public Event {
+  KOMPICS_EVENT(LookupRequest, Event);
+
  public:
   LookupRequest(OpId id, RingKey key, std::size_t group_size)
       : id(id), key(key), group_size(group_size) {}
@@ -149,6 +165,8 @@ class LookupRequest : public Event {
 };
 
 class LookupResponse : public Event {
+  KOMPICS_EVENT(LookupResponse, Event);
+
  public:
   LookupResponse(OpId id, RingKey key, std::vector<NodeRef> group)
       : id(id), key(key), group(std::move(group)) {}
@@ -172,6 +190,8 @@ class Router : public PortType {
 
 /// Periodic random sample of live nodes, with their ring keys.
 class NodeSample : public Event {
+  KOMPICS_EVENT(NodeSample, Event);
+
  public:
   explicit NodeSample(std::vector<NodeRef> nodes) : nodes(std::move(nodes)) {}
   std::vector<NodeRef> nodes;
@@ -179,6 +199,8 @@ class NodeSample : public Event {
 
 /// Seeds the sampling overlay with initial contacts.
 class SamplingSeed : public Event {
+  KOMPICS_EVENT(SamplingSeed, Event);
+
  public:
   SamplingSeed(NodeRef self, std::vector<NodeRef> contacts)
       : self(self), contacts(std::move(contacts)) {}
@@ -200,24 +222,32 @@ class NodeSampling : public PortType {
 // ---------------------------------------------------------------------------
 
 class MonitorNode : public Event {
+  KOMPICS_EVENT(MonitorNode, Event);
+
  public:
   explicit MonitorNode(Address node) : node(node) {}
   Address node;
 };
 
 class UnmonitorNode : public Event {
+  KOMPICS_EVENT(UnmonitorNode, Event);
+
  public:
   explicit UnmonitorNode(Address node) : node(node) {}
   Address node;
 };
 
 class Suspect : public Event {
+  KOMPICS_EVENT(Suspect, Event);
+
  public:
   explicit Suspect(Address node) : node(node) {}
   Address node;
 };
 
 class Restore : public Event {
+  KOMPICS_EVENT(Restore, Event);
+
  public:
   explicit Restore(Address node) : node(node) {}
   Address node;
@@ -239,12 +269,16 @@ class EventuallyPerfectFD : public PortType {
 // ---------------------------------------------------------------------------
 
 class BootstrapRequest : public Event {
+  KOMPICS_EVENT(BootstrapRequest, Event);
+
  public:
   explicit BootstrapRequest(NodeRef self) : self(self) {}
   NodeRef self;
 };
 
 class BootstrapResponse : public Event {
+  KOMPICS_EVENT(BootstrapResponse, Event);
+
  public:
   explicit BootstrapResponse(std::vector<NodeRef> peers) : peers(std::move(peers)) {}
   std::vector<NodeRef> peers;
@@ -253,6 +287,8 @@ class BootstrapResponse : public Event {
 /// Sent by the node after it finished joining: the client starts sending
 /// periodic keep-alives to the bootstrap server (§4.1).
 class BootstrapDone : public Event {
+  KOMPICS_EVENT(BootstrapDone, Event);
+
  public:
   BootstrapDone() = default;
 };
@@ -272,12 +308,16 @@ class Bootstrap : public PortType {
 // ---------------------------------------------------------------------------
 
 class StatusRequest : public Event {
+  KOMPICS_EVENT(StatusRequest, Event);
+
  public:
   explicit StatusRequest(OpId id) : id(id) {}
   OpId id;
 };
 
 class StatusResponse : public Event {
+  KOMPICS_EVENT(StatusResponse, Event);
+
  public:
   StatusResponse(OpId id, std::string component, std::map<std::string, std::string> fields)
       : id(id), component(std::move(component)), fields(std::move(fields)) {}

@@ -14,6 +14,13 @@
 // type. Since a composite component's *inside* half has flipped polarity,
 // the same connect() call also builds pass-through channels from a
 // composite's own port to its children's ports (Figs. 10-11).
+//
+// Hot-path contract: the channel's forwarding configuration (state, ends,
+// filters) is published as an RCU snapshot. `forward` on an active,
+// fully-plugged channel reads the snapshot and delivers without taking the
+// channel lock; only the reconfiguration states (held / unplugged / dead —
+// which need the FIFO queue) fall back to `mu_`. All mutators rebuild and
+// swap the snapshot under `mu_`.
 
 #include <deque>
 #include <functional>
@@ -22,6 +29,7 @@
 
 #include "event.hpp"
 #include "port_type.hpp"
+#include "rcu.hpp"
 
 namespace kompics {
 
@@ -32,8 +40,8 @@ class Channel : public std::enable_shared_from_this<Channel> {
   enum class State : unsigned char { kActive, kHeld, kDead };
 
   /// Use connect() (component.hpp) instead of constructing directly.
-  Channel(PortCore* positive_end, PortCore* negative_end)
-      : positive_end_(positive_end), negative_end_(negative_end) {}
+  Channel(PortCore* positive_end, PortCore* negative_end);
+  ~Channel();
 
   /// Forward an event that left `from` toward the far end. Honors
   /// hold/unplug queuing; drops events only when the channel is dead
@@ -51,7 +59,8 @@ class Channel : public std::enable_shared_from_this<Channel> {
   /// channels that would not lead to any compatible subscribed handlers"):
   /// events traveling in direction `d` are forwarded only when the
   /// predicate accepts them. One filter per direction; pass nullptr to
-  /// clear. Filters must be pure (they run under the channel lock).
+  /// clear. Filters must be pure (the fast path runs them lock-free,
+  /// concurrently with other forwards).
   void set_filter(Direction d, std::function<bool(const Event&)> filter);
 
   /// Tears the channel down (disconnect): detaches both ends, drops queued
@@ -62,8 +71,14 @@ class Channel : public std::enable_shared_from_this<Channel> {
     std::lock_guard<std::mutex> g(mu_);
     return state_;
   }
-  PortCore* positive_end() const { return positive_end_; }
-  PortCore* negative_end() const { return negative_end_; }
+  PortCore* positive_end() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return positive_end_;
+  }
+  PortCore* negative_end() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return negative_end_;
+  }
 
   /// Number of events currently queued (held or awaiting plug).
   std::size_t queued() const {
@@ -78,10 +93,24 @@ class Channel : public std::enable_shared_from_this<Channel> {
     bool toward_positive;  ///< destination end when queued
   };
 
-  PortCore* far_of(const PortCore* from) const {
+  /// Immutable forwarding configuration, swapped on every mutation.
+  struct Snap : detail::RcuObject {
+    State state = State::kActive;
+    PortCore* positive_end = nullptr;
+    PortCore* negative_end = nullptr;
+    std::function<bool(const Event&)> positive_filter;
+    std::function<bool(const Event&)> negative_filter;
+  };
+
+  PortCore* far_of_locked(const PortCore* from) const {
     return from == positive_end_ ? negative_end_ : positive_end_;
   }
 
+  /// Rebuilds the snapshot from the authoritative fields. Call with `mu_`
+  /// held after every mutation.
+  void publish_locked();
+
+  void forward_slow(const EventPtr& e, Direction d, const PortCore* from);
   void flush_locked(std::unique_lock<std::mutex>& lock);
 
   mutable std::mutex mu_;
@@ -93,6 +122,17 @@ class Channel : public std::enable_shared_from_this<Channel> {
   PortCore* unplugged_end_ = nullptr;  ///< remembered slot while unplugged
   bool unplugged_was_positive_ = false;
   std::deque<Pending> queue_;
+  detail::RcuCell<const Snap> snap_;
+
+  // Lock-free fast-path mirror of the default configuration (active, both
+  // ends plugged, no filters). forward() reads it with plain atomic loads
+  // — no snapshot pin — and falls back to the snapshot path whenever the
+  // flag is off or the end pointers don't line up with the sender (which
+  // catches every torn read during a mutation; see forward()). Updated by
+  // publish_locked() with `mu_` held.
+  std::atomic<bool> fast_path_{false};
+  std::atomic<PortCore*> fast_pos_{nullptr};
+  std::atomic<PortCore*> fast_neg_{nullptr};
 };
 
 using ChannelRef = std::shared_ptr<Channel>;

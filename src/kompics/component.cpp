@@ -86,18 +86,142 @@ PortPair* ComponentCore::find_port(std::type_index tid, bool provided) const {
 // Execution
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Global lock-free freelist recycling WorkItems between the threads that
+// publish events and the workers that consume them. Without it every
+// delivery pays a cross-thread malloc/free round-trip through the
+// allocator's shared arena (the producer allocates, a worker frees).
+//
+// Treiber stack with a packed (pointer, tag) head word — same packing
+// discipline as rcu.hpp: 8-byte-aligned pointers drop 3 low bits, leaving
+// 19 bits of ABA tag below a 45-bit pointer field. A pop's window would
+// need 2^19 interleaved operations for the tag to wrap back — not reachable
+// in practice. Nodes are only returned to the allocator in the pool's
+// destructor (after all runtime threads have joined), so the speculative
+// `next` read in acquire() never touches freed memory.
+class WorkItemPool {
+ public:
+  using WorkItem = ComponentCore::WorkItem;
+
+  ~WorkItemPool() {
+    WorkItem* it = unpack(head_.load(std::memory_order_acquire));
+    while (it != nullptr) {
+      WorkItem* next = it->next.load(std::memory_order_relaxed);
+      delete it;
+      it = next;
+    }
+  }
+
+  WorkItem* acquire() {
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      WorkItem* top = unpack(head);
+      if (top == nullptr) return new WorkItem{};
+      // May read a stale value if another thread pops `top` first; the CAS
+      // below fails in that case (the tag advanced) and we reload.
+      WorkItem* next = top->next.load(std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(head, pack(next, tag(head) + 1),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        top->next.store(nullptr, std::memory_order_relaxed);
+        return top;
+      }
+    }
+  }
+
+  void release(WorkItem* item) {
+    if (item == nullptr) return;  // callers pass next_item()'s result as-is
+    item->event.reset();
+    item->half = nullptr;
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      item->next.store(unpack(head), std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(head, pack(item, tag(head) + 1),
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kTagBits = 19;
+  static constexpr std::uint64_t kTagMask = (1ULL << kTagBits) - 1;
+
+  // The tag survives the empty state (pointer bits all zero): every push
+  // and pop advances it, so a stale head word can never be reproduced by
+  // any pop/push interleaving short of a full 2^19 tag wrap.
+  static std::uint64_t pack(WorkItem* p, std::uint64_t tag) {
+    const auto bits = reinterpret_cast<std::uintptr_t>(p);
+    KOMPICS_ASSERT((bits & 7) == 0 && (bits >> 48) == 0,
+                   "work item pointer not packable");
+    return (static_cast<std::uint64_t>(bits) >> 3 << kTagBits) | (tag & kTagMask);
+  }
+  static WorkItem* unpack(std::uint64_t word) {
+    return reinterpret_cast<WorkItem*>((word >> kTagBits) << 3);
+  }
+  static std::uint64_t tag(std::uint64_t word) { return word & kTagMask; }
+
+  std::atomic<std::uint64_t> head_{0};
+};
+
+WorkItemPool& work_item_pool() {
+  static WorkItemPool pool;
+  return pool;
+}
+
+}  // namespace
+
 void ComponentCore::enqueue_work(const EventPtr& e, PortCore* half, bool control) {
-  auto* item = new WorkItem{};
+  // Pending is counted BEFORE the push makes the item consumable. Tickets
+  // are fungible across a component's queued items: once this item is in
+  // the queue, a worker holding a ticket from a *different* producer can
+  // pop and complete it, and its pending_sub must never observe a counter
+  // this enqueue hasn't paid into yet — otherwise pending_ transiently
+  // reads zero with work still queued and await_quiescence returns early.
+  runtime_->pending_add(1);
+  WorkItem* item = work_item_pool().acquire();
   item->event = e;
   item->half = half;
   item->control = control;
   (control ? control_q_ : normal_q_).push(item);
-  bump(1);
+  detail::DispatchBatch& batch = detail::DispatchBatch::current();
+  if (batch.active() && batch.compatible(runtime_)) {
+    batch.add(this);  // ready transition + scheduling deferred to scope exit
+  } else {
+    ticket(1);
+  }
+}
+
+detail::DispatchBatch& detail::DispatchBatch::current() {
+  thread_local DispatchBatch batch;
+  return batch;
+}
+
+void detail::DispatchBatch::flush() {
+  // Pending for each unit was already counted by enqueue_work (it must
+  // happen before the push); only the ready transitions and the scheduler
+  // hand-off are deferred here.
+  to_schedule_.clear();
+  for (ComponentCore* c : bumps_) {
+    if (c->work_count_.fetch_add(1, std::memory_order_acq_rel) == 0) {
+      to_schedule_.push_back(c->shared_from_this());
+    }
+  }
+  bumps_.clear();
+  Runtime* rt = runtime_;
+  runtime_ = nullptr;
+  if (!to_schedule_.empty()) rt->scheduler().schedule_batch(to_schedule_);
 }
 
 void ComponentCore::bump(std::int64_t k) {
   if (k <= 0) return;
   runtime_->pending_add(k);
+  ticket(k);
+}
+
+void ComponentCore::ticket(std::int64_t k) {
   if (work_count_.fetch_add(k, std::memory_order_acq_rel) == 0) {
     runtime_->scheduler().schedule(shared_from_this());
   }
@@ -150,7 +274,7 @@ ComponentCore::WorkItem* ComponentCore::next_item() {
         }
       }
     }
-    delete it;
+    work_item_pool().release(it);
     return nullptr;
   }
 
@@ -210,13 +334,49 @@ void ComponentCore::execute() {
   complete_one();
 }
 
+const std::vector<SubscriptionRef>& ComponentCore::matching_subs_cached(PortCore* half,
+                                                                        const Event& e) {
+  // Consumer-only (called from run_item under the single-consumer
+  // discipline), so match_cache_/scratch_subs_ need no lock.
+  const EventTypeId eid = e.kompics_type_id();
+  if (!detail::type_id_is_exact(eid, e)) {
+    // The dynamic type is unregistered (it reports a registered ancestor's
+    // id, or the root id): a per-id cache entry would conflate distinct
+    // types, so re-match directly. scratch_subs_ keeps its capacity.
+    half->matching_subscriptions_into(this, e, scratch_subs_);
+    return scratch_subs_;
+  }
+  // Epoch BEFORE scan (port.hpp contract): if a later lookup sees the same
+  // epoch, the table cannot have changed since this entry was built.
+  const std::uint64_t epoch = half->sub_epoch();
+  MatchEntry& entry = match_cache_[MatchKey{half, eid}];
+  if (entry.valid && entry.epoch == epoch) return entry.subs;
+  if (match_cache_.size() > kMatchCacheMax) {
+    // Pathological key churn (many ports × many event types): reset rather
+    // than grow without bound. The reference into match_cache_ is
+    // invalidated by clear(), so recreate the entry afterwards.
+    match_cache_.clear();
+    MatchEntry& fresh = match_cache_[MatchKey{half, eid}];
+    fresh.epoch = epoch;
+    fresh.valid = true;
+    half->matching_subscriptions_into(this, e, fresh.subs);
+    return fresh.subs;
+  }
+  entry.epoch = epoch;
+  entry.valid = true;
+  half->matching_subscriptions_into(this, e, entry.subs);
+  return entry.subs;
+}
+
 void ComponentCore::run_item(WorkItem* item) {
-  const EventPtr event = item->event;
+  const EventPtr event = std::move(item->event);
   PortCore* half = item->half;
   const bool is_control = item->control;
-  delete item;
+  work_item_pool().release(item);
 
-  auto subs = half->matching_subscriptions(this, *event);
+  // Execution-time re-match (paper semantics for (un)subscribe during
+  // handling), served from the epoch-validated cache.
+  const auto& subs = matching_subs_cached(half, *event);
   if (definition_ != nullptr) {
     definition_->in_handler_ = true;
     definition_->current_event_ = event;
@@ -356,15 +516,15 @@ void ComponentCore::flush_passive_deferred() {
 
 void ComponentCore::drain_all_queues() {
   auto drop = [](std::deque<WorkItem*>& q) {
-    for (WorkItem* it : q) delete it;
+    for (WorkItem* it : q) work_item_pool().release(it);
     q.clear();
   };
   drop(replay_control_);
   drop(replay_normal_);
   drop(parked_control_);
   drop(parked_normal_);
-  while (WorkItem* it = control_q_.pop()) delete it;
-  while (WorkItem* it = normal_q_.pop()) delete it;
+  while (WorkItem* it = control_q_.pop()) work_item_pool().release(it);
+  while (WorkItem* it = normal_q_.pop()) work_item_pool().release(it);
 }
 
 // ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@
 #include <stdexcept>
 #include <string>
 #include <typeindex>
+#include <unordered_map>
 #include <vector>
 
 #include "channel.hpp"
@@ -43,6 +44,10 @@ class Runtime;
 class ComponentDefinition;
 class ComponentCore;
 using ComponentCorePtr = std::shared_ptr<ComponentCore>;
+
+namespace detail {
+class DispatchBatch;
+}  // namespace detail
 
 /// Handle to a (sub)component held by its creator — grants access to the
 /// child's outside port halves for connect() and life-cycle triggers.
@@ -157,11 +162,15 @@ class ComponentCore : public std::enable_shared_from_this<ComponentCore> {
 
  private:
   friend class ComponentDefinition;
+  friend class detail::DispatchBatch;
 
-  void bump(std::int64_t k);     // add k ready units; schedule on 0 -> k
+  void bump(std::int64_t k);     // pending + ticket(k)
+  void ticket(std::int64_t k);   // add k ready units; schedule on 0 -> k
   void complete_one();           // finish a unit; re-schedule if more remain
   WorkItem* next_item();         // pop respecting init/passive gating
   void run_item(WorkItem* item);
+  const std::vector<SubscriptionRef>& matching_subs_cached(PortCore* half,
+                                                           const Event& e);
   void builtin_lifecycle_event(const Event& e);
   void begin_stop();
   void emit_stopped();
@@ -203,6 +212,32 @@ class ComponentCore : public std::enable_shared_from_this<ComponentCore> {
   std::deque<WorkItem*> parked_control_;    // waiting for Init
   std::deque<WorkItem*> parked_normal_;     // waiting for Start
   KOMPICS_SINGLE_CONSUMER_FLAG(executing_);  // §3: one worker at a time
+
+  // Epoch-validated match cache for the executing worker's re-match
+  // (run_item): keyed by (port half, event TypeId), valid while the stored
+  // epoch equals the port's subscription epoch. Consumer-only state — the
+  // single-consumer discipline above is its lock. Entries hold
+  // SubscriptionRefs, so cached lists stay safe across unsubscribes (the
+  // per-subscription `active` flag preserves exact semantics).
+  struct MatchKey {
+    const PortCore* half;
+    EventTypeId id;
+    bool operator==(const MatchKey& o) const { return half == o.half && id == o.id; }
+  };
+  struct MatchKeyHash {
+    std::size_t operator()(const MatchKey& k) const {
+      return std::hash<const void*>()(k.half) ^
+             (static_cast<std::size_t>(k.id) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  struct MatchEntry {
+    std::uint64_t epoch = 0;
+    bool valid = false;
+    std::vector<SubscriptionRef> subs;
+  };
+  static constexpr std::size_t kMatchCacheMax = 1024;
+  std::unordered_map<MatchKey, MatchEntry, MatchKeyHash> match_cache_;  // consumer-only
+  std::vector<SubscriptionRef> scratch_subs_;                           // consumer-only
   std::atomic<LifecycleState> state_{LifecycleState::kPassive};
   std::atomic<bool> needs_init_{false};
   bool init_done_ = false;  // consumer-only
@@ -210,6 +245,69 @@ class ComponentCore : public std::enable_shared_from_this<ComponentCore> {
   std::atomic<int> start_pending_{0};  // children yet to confirm Started
   ComponentCorePtr forward_to_;        // §2.6 retire target (under structure_mu_)
 };
+
+namespace detail {
+
+/// Thread-local accumulator that coalesces the scheduler and quiescence
+/// bookkeeping of one synchronous event propagation (one trigger(), one
+/// channel replay). While a scope is open on the calling thread,
+/// enqueue_work() records its target here after pushing the work item;
+/// the outermost scope exit then pays ONE runtime pending-counter update,
+/// performs the idle->ready transitions, and hands every newly-ready
+/// component to the scheduler in a single schedule_batch() call. A fan-out
+/// trigger with N subscribers thus wakes the worker pool once instead of
+/// N times.
+///
+/// Deferral is safe because a work item without its ready "ticket" is
+/// merely invisible to the scheduler until the flush — it cannot be
+/// completed, so the runtime's pending counter never undercounts
+/// completable work. Triggers from inside a handler flush before run_item
+/// returns, so the handler's own in-flight unit keeps the runtime
+/// non-quiescent across the whole window.
+class DispatchBatch {
+ public:
+  bool active() const { return depth_ > 0; }
+  /// A batch only spans one runtime; a foreign component falls back to the
+  /// unbatched path.
+  bool compatible(Runtime* rt) const { return runtime_ == nullptr || runtime_ == rt; }
+
+  void add(ComponentCore* c) {
+    runtime_ = c->runtime_;
+    bumps_.push_back(c);
+  }
+
+  void enter() { ++depth_; }
+  void exit() {
+    if (--depth_ == 0 && !bumps_.empty()) flush();
+  }
+
+  /// The calling thread's batch (one per thread, reused across scopes so
+  /// the vectors keep their capacity).
+  static DispatchBatch& current();
+
+ private:
+  void flush();
+
+  int depth_ = 0;
+  Runtime* runtime_ = nullptr;
+  std::vector<ComponentCore*> bumps_;          // one entry per queued unit
+  std::vector<ComponentCorePtr> to_schedule_;  // reused scratch for flush()
+};
+
+/// RAII scope delimiting one synchronous propagation; nests freely (only
+/// the outermost exit flushes).
+class DispatchBatchScope {
+ public:
+  DispatchBatchScope() : batch_(DispatchBatch::current()) { batch_.enter(); }
+  ~DispatchBatchScope() { batch_.exit(); }
+  DispatchBatchScope(const DispatchBatchScope&) = delete;
+  DispatchBatchScope& operator=(const DispatchBatchScope&) = delete;
+
+ private:
+  DispatchBatch& batch_;
+};
+
+}  // namespace detail
 
 /// Base class for user components. Constructors run with the owning
 /// ComponentCore installed, so they may declare ports, subscribe handlers,
@@ -364,7 +462,12 @@ class ComponentDefinition {
     auto sub = std::make_shared<Subscription>();
     sub->subscriber = core_;
     sub->half = half;
-    sub->accepts = [](const Event& e) { return event_is<E>(e); };
+    // Registered event types match by integer TypeId ancestor-walk; only
+    // unregistered ones pay the RTTI predicate (event.hpp).
+    sub->event_type = detail::static_type_id_or_invalid<E>();
+    if (sub->event_type == kEventTypeInvalid) {
+      sub->rtti_accepts = [](const Event& e) { return event_is<E>(e); };
+    }
     sub->invoke = [f = std::function<void(const E&)>(std::forward<F>(fn))](const Event& e) {
       f(event_as<E>(e));
     };

@@ -2,13 +2,119 @@
 
 // Events are the unit of communication in Kompics (paper §2.1): passive,
 // immutable, typed objects. Subtyping of events maps onto C++ inheritance
-// from kompics::Event; handler and port-type matching use RTTI, which is the
-// C++ equivalent of the Java implementation's class-hierarchy checks.
+// from kompics::Event; handler and port-type matching use the event *type
+// registry* below — each registered Event subclass carries a small integer
+// TypeId with a precomputed ancestor chain, so subtype checks on the
+// dispatch hot path are integer parent-walks instead of dynamic_cast.
+// Unregistered event types keep the RTTI fallback, so plain `class X :
+// public Event {}` declarations continue to work unchanged.
+//
+// Registering a type (opt-in, recommended for every event that crosses the
+// dispatch hot path):
+//
+//   class Tick : public Event {
+//     KOMPICS_EVENT(Tick, Event);
+//    public:
+//     ...
+//   };
+//
+// The second macro argument MUST be the direct base class (itself Event or
+// a registered subtype). Registration is lazy, thread-safe, idempotent and
+// process-wide: the same type defined in a header and used from many
+// translation units gets exactly one TypeId.
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <type_traits>
+#include <typeinfo>
+
+#include "debug.hpp"
 
 namespace kompics {
+
+class Event;
+
+/// Small dense integer identifying a registered event type.
+using EventTypeId = std::uint32_t;
+
+/// Sentinel: "this type is not registered" (subscriptions fall back to RTTI).
+inline constexpr EventTypeId kEventTypeInvalid = 0;
+/// TypeId of the root of the hierarchy, kompics::Event itself.
+inline constexpr EventTypeId kEventTypeRoot = 1;
+
+namespace detail {
+
+/// Hard cap on distinct registered event types. Registry storage and the
+/// per-port-type `allows` memos are flat arrays indexed by TypeId, so this
+/// bounds their size; 4096 is two orders of magnitude above what the whole
+/// repo (CATS + net + sim + web + tests) declares.
+inline constexpr std::size_t kMaxEventTypes = 4096;
+
+struct EventTypeInfo {
+  EventTypeId parent = kEventTypeInvalid;
+  const char* name = "";
+  const std::type_info* ti = nullptr;  ///< dynamic-type exactness checks
+};
+
+// Registry storage. Entries are immutable once published; an id only
+// escapes the registering thread through a function-local static whose
+// guard provides the release/acquire edge, so readers never race writers.
+inline EventTypeInfo g_event_types[kMaxEventTypes]{};
+inline std::atomic<EventTypeId> g_event_type_count{2};  // 0 invalid, 1 root
+inline std::mutex g_event_type_mu;
+
+inline void ensure_root_registered_locked(const std::type_info& root_ti) {
+  if (g_event_types[kEventTypeRoot].ti == nullptr) {
+    g_event_types[kEventTypeRoot] =
+        EventTypeInfo{kEventTypeInvalid, "kompics::Event", &root_ti};
+  }
+}
+
+inline EventTypeId allocate_event_type(EventTypeId parent, const char* name,
+                                       const std::type_info& ti,
+                                       const std::type_info& root_ti) {
+  std::lock_guard<std::mutex> g(g_event_type_mu);
+  ensure_root_registered_locked(root_ti);
+  const EventTypeId id = g_event_type_count.load(std::memory_order_relaxed);
+  KOMPICS_ASSERT(id < kMaxEventTypes, "event type registry full (kMaxEventTypes)");
+  g_event_types[id] = EventTypeInfo{parent, name, &ti};
+  g_event_type_count.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+/// True when `ancestor` is `derived` or one of its registered ancestors.
+/// Chains are shallow (2–4 links in practice), so a parent-walk beats any
+/// precomputed set both in cache footprint and in constant factor.
+inline bool is_ancestor(EventTypeId ancestor, EventTypeId derived) {
+  if (ancestor == derived || ancestor == kEventTypeRoot) return true;
+  while (derived != kEventTypeRoot && derived != kEventTypeInvalid) {
+    derived = g_event_types[derived].parent;
+    if (derived == ancestor) return true;
+  }
+  return false;
+}
+
+/// True when `id` names exactly the dynamic type of `e` — i.e. the reported
+/// id is not merely an inherited ancestor id from an unregistered subclass.
+/// Per-type caches may only be keyed by exact ids.
+bool type_id_is_exact(EventTypeId id, const Event& e);
+
+/// Detects types that registered *themselves* via KOMPICS_EVENT (the
+/// KompicsSelfType typedef is inherited, so compare it against E).
+template <class E, class = void>
+struct is_self_registered : std::false_type {};
+template <class E>
+struct is_self_registered<E, std::void_t<typename E::KompicsSelfType>>
+    : std::bool_constant<std::is_same_v<typename E::KompicsSelfType, E>> {};
+template <class E>
+inline constexpr bool is_self_registered_v = is_self_registered<E>::value;
+
+template <class E, class Base>
+EventTypeId register_event_type(const char* name);
+
+}  // namespace detail
 
 /// Root of the event type hierarchy. All events are immutable once
 /// published: they are shared between every subscriber via
@@ -16,13 +122,73 @@ namespace kompics {
 /// mutable state.
 class Event {
  public:
+  using KompicsSelfType = Event;
+
   virtual ~Event() = default;
+
+  /// TypeId of this class in the event type registry (the root id).
+  static EventTypeId kompics_static_type_id() { return kEventTypeRoot; }
+
+  /// TypeId of the *nearest registered ancestor* of the dynamic type (the
+  /// dynamic type itself when registered). Ancestor checks against this id
+  /// are exact for any registered target type under single inheritance.
+  virtual EventTypeId kompics_type_id() const { return kEventTypeRoot; }
 
  protected:
   Event() = default;
   Event(const Event&) = default;
   Event& operator=(const Event&) = default;
 };
+
+/// Registers event type E with direct base Base in the type registry and
+/// overrides the id hooks. Place inside the class definition; leaves the
+/// access level `public`. Base MUST be the direct base class — skipping an
+/// intermediate *registered* class mis-declares the ancestor chain.
+#define KOMPICS_EVENT(E, Base)                                              \
+ public:                                                                    \
+  using KompicsSelfType = E;                                                \
+  static ::kompics::EventTypeId kompics_static_type_id() {                  \
+    static const ::kompics::EventTypeId kompics_event_id =                  \
+        ::kompics::detail::register_event_type<E, Base>(#E);                \
+    return kompics_event_id;                                                \
+  }                                                                         \
+  ::kompics::EventTypeId kompics_type_id() const override {                 \
+    return kompics_static_type_id();                                        \
+  }                                                                         \
+  static_assert(true, "")
+
+namespace detail {
+
+template <class E, class Base>
+EventTypeId register_event_type(const char* name) {
+  static_assert(std::is_base_of_v<Event, Base>, "Base must derive from kompics::Event");
+  static_assert(std::is_base_of_v<Base, E>, "Base must be a base class of E");
+  static_assert(!std::is_same_v<E, Base>, "an event type cannot be its own base");
+  // Registering the parent first (recursively, through its own static-id
+  // hook) guarantees every ancestor entry is published before this id
+  // escapes. When Base is itself unregistered this yields Base's nearest
+  // registered ancestor, which keeps ancestor checks sound (the skipped,
+  // unregistered middle types match via the RTTI fallback anyway).
+  const EventTypeId parent = Base::kompics_static_type_id();
+  return allocate_event_type(parent, name, typeid(E), typeid(Event));
+}
+
+inline bool type_id_is_exact(EventTypeId id, const Event& e) {
+  const std::type_info* ti = g_event_types[id].ti;
+  return ti != nullptr && *ti == typeid(e);
+}
+
+/// E's registered TypeId, or kEventTypeInvalid when E never registered.
+template <class E>
+EventTypeId static_type_id_or_invalid() {
+  if constexpr (is_self_registered_v<E>) {
+    return E::kompics_static_type_id();
+  } else {
+    return kEventTypeInvalid;
+  }
+}
+
+}  // namespace detail
 
 /// Shared, immutable handle to a published event.
 using EventPtr = std::shared_ptr<const Event>;
@@ -34,11 +200,16 @@ EventPtr make_event(Args&&... args) {
   return std::make_shared<const E>(std::forward<Args>(args)...);
 }
 
-/// True when the dynamic type of `e` is E or a subtype of E.
+/// True when the dynamic type of `e` is E or a subtype of E. Registered
+/// types resolve via an integer ancestor-walk; unregistered ones keep the
+/// RTTI check (exactly dynamic_cast's answer under single inheritance).
 template <class E>
 bool event_is(const Event& e) {
+  static_assert(std::is_base_of_v<Event, E>, "E must derive from kompics::Event");
   if constexpr (std::is_same_v<E, Event>) {
     return true;
+  } else if constexpr (detail::is_self_registered_v<E>) {
+    return detail::is_ancestor(E::kompics_static_type_id(), e.kompics_type_id());
   } else {
     return dynamic_cast<const E*>(&e) != nullptr;
   }

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "work_stealing_scheduler.hpp"
 
@@ -54,6 +55,14 @@ void Runtime::await_quiescence() {
 
 bool Runtime::await_quiescence_for(DurationMs timeout) {
   using namespace std::chrono;
+  // Fast path: a burst of work usually drains within microseconds, so a
+  // bounded yield-spin resolves most waits without ever registering as a
+  // waiter — which also keeps pending_sub() off its notify slow path. The
+  // yields hand the CPU to the workers doing the draining.
+  for (int i = 0; i < 256; ++i) {
+    if (pending_.load(std::memory_order_acquire) == 0) return true;
+    std::this_thread::yield();
+  }
   const auto deadline = steady_clock::now() + milliseconds(timeout);
   waiters_.fetch_add(1, std::memory_order_acq_rel);
   std::unique_lock<std::mutex> lock(quiesce_mu_);

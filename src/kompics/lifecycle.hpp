@@ -21,32 +21,44 @@ namespace kompics {
 /// component constructor guarantees that Init is handled before any other
 /// event (paper §2.4).
 class Init : public Event {
+  KOMPICS_EVENT(Init, Event);
+
  public:
   Init() = default;
 };
 
 /// Activates a component (and, recursively, its subcomponents).
-class Start : public Event {};
+class Start : public Event {
+  KOMPICS_EVENT(Start, Event);
+};
 
 /// Confirmation that a component — and its entire subtree — has processed
 /// Start and is active. The dual of Stopped; lets orchestration code know
 /// when a freshly created subtree is fully operational.
-class Started : public Event {};
+class Started : public Event {
+  KOMPICS_EVENT(Started, Event);
+};
 
 /// Passivates a component (and, recursively, its subcomponents).
-class Stop : public Event {};
+class Stop : public Event {
+  KOMPICS_EVENT(Stop, Event);
+};
 
 /// Confirmation that a component — and its entire subtree — has processed
 /// Stop and is passive (no handler of the subtree is running or will run).
 /// Emitted by the runtime on the component's control port; the §2.6
 /// replacement recipe waits for it before unplugging channels, which is what
 /// makes reconfiguration lose no events.
-class Stopped : public Event {};
+class Stopped : public Event {
+  KOMPICS_EVENT(Stopped, Event);
+};
 
 class ComponentCore;
 
 /// Wraps an exception that escaped an event handler (paper §2.5).
 class Fault : public Event {
+  KOMPICS_EVENT(Fault, Event);
+
  public:
   Fault(std::exception_ptr error, ComponentCore* source, std::string what)
       : error_(std::move(error)), source_(source), what_(std::move(what)) {}

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "channel.hpp"
 #include "component.hpp"
@@ -10,19 +9,75 @@
 
 namespace kompics {
 
+namespace {
+
+// Distinct-target accumulator for dispatch: inline storage for the common
+// fan-outs so the hot path performs no heap allocation.
+class TargetSet {
+ public:
+  bool insert(ComponentCore* c) {
+    for (std::size_t i = 0; i < inline_count_; ++i) {
+      if (inline_[i] == c) return false;
+    }
+    for (ComponentCore* t : overflow_) {
+      if (t == c) return false;
+    }
+    if (inline_count_ < kInline) {
+      inline_[inline_count_++] = c;
+    } else {
+      overflow_.push_back(c);
+    }
+    return true;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < inline_count_; ++i) fn(inline_[i]);
+    for (ComponentCore* t : overflow_) fn(t);
+  }
+
+ private:
+  static constexpr std::size_t kInline = 8;
+  ComponentCore* inline_[kInline];
+  std::size_t inline_count_ = 0;
+  std::vector<ComponentCore*> overflow_;
+};
+
+}  // namespace
+
+PortCore::PortCore(ComponentCore* owner, const PortType* type, Direction polarity, bool inside)
+    : owner_(owner),
+      type_(type),
+      polarity_(polarity),
+      inside_(inside),
+      // Property of the singleton port type: resolve the RTTI query once
+      // here instead of on every dispatch.
+      control_(dynamic_cast<const ControlPort*>(type) != nullptr),
+      subs_(new SubTable),
+      chans_(new ChanTable) {}
+
+PortCore::~PortCore() = default;
+
 void PortCore::trigger(const EventPtr& e) {
   if (e == nullptr) throw std::invalid_argument("trigger: null event");
   const Direction d = opposite(polarity_);
   if (!type_->allows(d, *e)) {
-    throw std::logic_error("event type not allowed to pass on port '" + type_->name() +
-                           "' in the triggered direction");
+    throw std::logic_error("event type '" + std::string(typeid(*e).name()) +
+                           "' not allowed to pass on port '" + type_->name() +
+                           "' in the triggered direction (allowed: " +
+                           type_->allowed_types(d) + ")");
   }
+  // The whole synchronous propagation below (port pair, channels, fan-out
+  // dispatch) batches its scheduler hand-off into one flush at scope exit.
+  detail::DispatchBatchScope batch;
   pair_->arrive(e, d);
 }
 
 void PortCore::arrive(const EventPtr& e, Direction d) {
   if (polarity_ == d) dispatch(e);
-  for (const auto& c : channels()) c->forward(e, d, this);
+  if (chan_count_.load(std::memory_order_acquire) == 0) return;
+  const auto snap = chans_.acquire();
+  for (const auto& c : snap->channels) c->forward(e, d, this);
 }
 
 void PortCore::deliver_from_channel(const EventPtr& e, Direction d) {
@@ -33,77 +88,119 @@ void PortCore::deliver_from_channel(const EventPtr& e, Direction d) {
 std::size_t PortCore::dispatch(const EventPtr& e) {
   // Collect the distinct subscriber components with at least one accepting
   // handler; enqueue one work unit per subscriber. At execution time the
-  // subscriber re-matches against its then-current subscriptions, which
-  // gives the paper's semantics for subscribe/unsubscribe during handling.
+  // subscriber re-matches against its then-current subscriptions (through
+  // the epoch-validated match cache, component.cpp), which gives the
+  // paper's semantics for subscribe/unsubscribe during handling.
   std::size_t matches = 0;
-  std::vector<ComponentCore*> targets;
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    for (const auto& s : subs_) {
-      if (!s->active || !s->accepts(*e)) continue;
+  TargetSet targets;
+  if (sub_count_.load(std::memory_order_acquire) != 0) {
+    const EventTypeId eid = e->kompics_type_id();
+    const auto snap = subs_.acquire();
+    for (const auto& s : snap->subs) {
+      if (!s->active.load(std::memory_order_acquire) || !s->accepts(*e, eid)) continue;
       ++matches;
-      if (std::find(targets.begin(), targets.end(), s->subscriber) == targets.end()) {
-        targets.push_back(s->subscriber);
-      }
+      targets.insert(s->subscriber);
     }
   }
-  const bool control = dynamic_cast<const ControlPort*>(type_) != nullptr;
   // Life-cycle events must reach the owning component even without user
   // handlers: the built-in activation/passivation logic (§2.4) runs after
   // user handlers, so the owner always gets a work unit for them.
-  if (control && inside_ &&
-      (event_is<Init>(*e) || event_is<Start>(*e) || event_is<Stop>(*e)) &&
-      std::find(targets.begin(), targets.end(), owner_) == targets.end()) {
-    targets.push_back(owner_);
+  if (control_ && inside_ &&
+      (event_is<Init>(*e) || event_is<Start>(*e) || event_is<Stop>(*e))) {
+    targets.insert(owner_);
   }
-  for (ComponentCore* t : targets) t->enqueue_work(e, this, control);
+  targets.for_each([&](ComponentCore* t) { t->enqueue_work(e, this, control_); });
   return matches;
 }
 
 bool PortCore::has_match(const Event& e) const {
-  std::lock_guard<std::mutex> g(mu_);
-  for (const auto& s : subs_) {
-    if (s->active && s->accepts(e)) return true;
+  if (sub_count_.load(std::memory_order_acquire) == 0) return false;
+  const EventTypeId eid = e.kompics_type_id();
+  const auto snap = subs_.acquire();
+  for (const auto& s : snap->subs) {
+    if (s->active.load(std::memory_order_acquire) && s->accepts(e, eid)) return true;
   }
   return false;
 }
 
 void PortCore::add_subscription(const SubscriptionRef& s) {
   std::lock_guard<std::mutex> g(mu_);
-  subs_.push_back(s);
+  const SubTable* cur = subs_.load_unlocked();
+  auto* next = new SubTable;
+  next->subs.reserve(cur->subs.size() + 1);
+  next->subs = cur->subs;
+  next->subs.push_back(s);
+  const auto n = static_cast<std::uint32_t>(next->subs.size());
+  subs_.swap(next);
+  sub_count_.store(n, std::memory_order_release);
+  sub_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void PortCore::remove_subscription(const SubscriptionRef& s) {
   std::lock_guard<std::mutex> g(mu_);
+  // Deactivate first: in-flight work items holding a cached match list
+  // (and the current handler round) observe the removal immediately.
   s->active.store(false, std::memory_order_release);
-  subs_.erase(std::remove(subs_.begin(), subs_.end(), s), subs_.end());
+  const SubTable* cur = subs_.load_unlocked();
+  auto* next = new SubTable;
+  next->subs.reserve(cur->subs.size());
+  for (const auto& existing : cur->subs) {
+    if (existing != s) next->subs.push_back(existing);
+  }
+  const auto n = static_cast<std::uint32_t>(next->subs.size());
+  subs_.swap(next);
+  sub_count_.store(n, std::memory_order_release);
+  sub_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 std::vector<SubscriptionRef> PortCore::matching_subscriptions(ComponentCore* subscriber,
                                                               const Event& e) const {
   std::vector<SubscriptionRef> out;
-  std::lock_guard<std::mutex> g(mu_);
-  for (const auto& s : subs_) {
-    if (s->active && s->subscriber == subscriber && s->accepts(e)) out.push_back(s);
-  }
+  matching_subscriptions_into(subscriber, e, out);
   return out;
+}
+
+void PortCore::matching_subscriptions_into(ComponentCore* subscriber, const Event& e,
+                                           std::vector<SubscriptionRef>& out) const {
+  out.clear();
+  const EventTypeId eid = e.kompics_type_id();
+  const auto snap = subs_.acquire();
+  for (const auto& s : snap->subs) {
+    if (s->subscriber == subscriber && s->active.load(std::memory_order_acquire) &&
+        s->accepts(e, eid)) {
+      out.push_back(s);
+    }
+  }
 }
 
 void PortCore::attach_channel(const ChannelRef& c) {
   std::lock_guard<std::mutex> g(mu_);
-  channels_.push_back(c);
+  const ChanTable* cur = chans_.load_unlocked();
+  auto* next = new ChanTable;
+  next->channels.reserve(cur->channels.size() + 1);
+  next->channels = cur->channels;
+  next->channels.push_back(c);
+  const auto n = static_cast<std::uint32_t>(next->channels.size());
+  chans_.swap(next);
+  chan_count_.store(n, std::memory_order_release);
 }
 
 void PortCore::detach_channel(const Channel* c) {
   std::lock_guard<std::mutex> g(mu_);
-  channels_.erase(std::remove_if(channels_.begin(), channels_.end(),
-                                 [c](const ChannelRef& r) { return r.get() == c; }),
-                  channels_.end());
+  const ChanTable* cur = chans_.load_unlocked();
+  auto* next = new ChanTable;
+  next->channels.reserve(cur->channels.size());
+  for (const auto& existing : cur->channels) {
+    if (existing.get() != c) next->channels.push_back(existing);
+  }
+  const auto n = static_cast<std::uint32_t>(next->channels.size());
+  chans_.swap(next);
+  chan_count_.store(n, std::memory_order_release);
 }
 
 std::vector<ChannelRef> PortCore::channels() const {
-  std::lock_guard<std::mutex> g(mu_);
-  return channels_;
+  const auto snap = chans_.acquire();
+  return snap->channels;
 }
 
 PortPair::PortPair(ComponentCore* owner, const PortType* type, bool provided_)

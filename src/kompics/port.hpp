@@ -23,7 +23,17 @@
 // sequential multi-handler dispatch (Fig. 7), hierarchical delivery
 // (Figs. 10-11), and no loop-back of an event to the component that
 // triggered it.
+//
+// Concurrency (this file's hot-path contract): the subscription and channel
+// tables are RCU copy-on-write snapshots (rcu.hpp). dispatch/arrive/
+// has_match read a snapshot lock-free; subscribe/unsubscribe and channel
+// attach/detach serialize on `mu_`, build a new immutable table, and swap
+// it in. `sub_epoch_` increments (release) after every subscription-table
+// swap so per-component match caches (component.hpp) can validate entries
+// without re-scanning.
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <typeindex>
@@ -32,6 +42,7 @@
 #include "event.hpp"
 #include "handler.hpp"
 #include "port_type.hpp"
+#include "rcu.hpp"
 
 namespace kompics {
 
@@ -43,8 +54,8 @@ using ChannelRef = std::shared_ptr<Channel>;
 /// channels and typed handles.
 class PortCore {
  public:
-  PortCore(ComponentCore* owner, const PortType* type, Direction polarity, bool inside)
-      : owner_(owner), type_(type), polarity_(polarity), inside_(inside) {}
+  PortCore(ComponentCore* owner, const PortType* type, Direction polarity, bool inside);
+  ~PortCore();
 
   PortCore(const PortCore&) = delete;
   PortCore& operator=(const PortCore&) = delete;
@@ -53,6 +64,9 @@ class PortCore {
   const PortType* type() const { return type_; }
   Direction polarity() const { return polarity_; }
   bool is_inside() const { return inside_; }
+  /// True when this half belongs to a component's built-in control port.
+  /// Resolved once at construction (it is a property of the port type).
+  bool is_control() const { return control_; }
   PortCore* pair() const { return pair_; }
   void link_pair(PortCore* p) { pair_ = p; }
 
@@ -85,29 +99,57 @@ class PortCore {
   void add_subscription(const SubscriptionRef& s);
   void remove_subscription(const SubscriptionRef& s);
 
-  /// Snapshot of the active subscriptions held by `subscriber` — taken at
-  /// execution time so that (un)subscribe during handling behaves as in the
-  /// paper (a handler that unsubscribes itself still finishes the current
-  /// event, but handles no further ones).
+  /// Monotonic counter bumped after every subscription-table change.
+  /// Readers pairing (epoch, table scan) — epoch first, acquire — get a
+  /// sound cache validity token: equal epoch later implies same table.
+  std::uint64_t sub_epoch() const { return sub_epoch_.load(std::memory_order_acquire); }
+
+  /// Snapshot of the active subscriptions held by `subscriber` that accept
+  /// `e` — taken at execution time so that (un)subscribe during handling
+  /// behaves as in the paper (a handler that unsubscribes itself still
+  /// finishes the current event, but handles no further ones).
   std::vector<SubscriptionRef> matching_subscriptions(ComponentCore* subscriber,
                                                       const Event& e) const;
+
+  /// Same, appending into `out` (cleared first) — lets the executing
+  /// worker's match cache reuse its vector capacity across events.
+  void matching_subscriptions_into(ComponentCore* subscriber, const Event& e,
+                                   std::vector<SubscriptionRef>& out) const;
 
   void attach_channel(const ChannelRef& c);
   void detach_channel(const Channel* c);
   std::vector<ChannelRef> channels() const;
 
  private:
+  friend class ComponentCore;
+
+  struct SubTable : detail::RcuObject {
+    std::vector<SubscriptionRef> subs;
+  };
+  struct ChanTable : detail::RcuObject {
+    std::vector<ChannelRef> channels;
+  };
+
   ComponentCore* owner_;
   const PortType* type_;
   Direction polarity_;
   bool inside_;
+  bool control_;
   PortCore* pair_ = nullptr;
   std::type_index port_tid_{typeid(void)};
   bool port_provided_ = false;
 
-  mutable std::mutex mu_;
-  std::vector<SubscriptionRef> subs_;
-  std::vector<ChannelRef> channels_;
+  mutable std::mutex mu_;  ///< serializes writers; readers use the snapshots
+  detail::RcuCell<const SubTable> subs_;
+  detail::RcuCell<const ChanTable> chans_;
+  std::atomic<std::uint64_t> sub_epoch_{0};
+  // Cached table sizes, stored (release) after each table swap. The hot
+  // paths load them (acquire) to skip pinning a snapshot of an empty table
+  // — most halves have no subscriptions or no channels. A reader that sees
+  // a stale zero linearizes before the concurrent add, exactly as if it had
+  // pinned the pre-swap snapshot.
+  std::atomic<std::uint32_t> sub_count_{0};
+  std::atomic<std::uint32_t> chan_count_{0};
 };
 
 /// A declared port: the linked pair of halves.

@@ -13,8 +13,17 @@
 // Port type instances are singletons obtained via port_type<Network>(), used
 // by the runtime for fast dynamic event filtering (mirroring the Java
 // implementation's singleton port-type objects).
+//
+// `allows` is on the trigger hot path. For event types in the registry
+// (KOMPICS_EVENT) the check is an integer ancestor-walk whose result is
+// memoized per (port type, direction, event TypeId) in a flat byte array —
+// after the first event of a type, one load + compare. Entries declared
+// with *unregistered* event types keep the RTTI check; their verdicts
+// depend on the dynamic type rather than the (possibly inherited) TypeId,
+// so they are evaluated per event and never memoized.
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <typeinfo>
 #include <vector>
@@ -39,14 +48,29 @@ class PortType {
 
   /// True when an event of e's dynamic type may pass in direction d.
   bool allows(Direction d, const Event& e) const {
-    const auto& set = d == Direction::kPositive ? positive_ : negative_;
-    for (const auto& entry : set) {
-      if (entry.check(e)) return true;
+    const Side& side = d == Direction::kPositive ? positive_ : negative_;
+    const EventTypeId eid = e.kompics_type_id();
+    if (side.memo != nullptr) {
+      const std::uint8_t m = side.memo[eid].load(std::memory_order_relaxed);
+      if (m == kMemoAllowed) return true;
+      if (m == kMemoDenied && side.rtti_entries.empty()) return false;
     }
-    return false;
+    return allows_slow(side, eid, e);
   }
 
   const std::string& name() const { return name_; }
+
+  /// Human-readable list of the event types declared for direction d, for
+  /// rejection diagnostics (PortCore::trigger).
+  std::string allowed_types(Direction d) const {
+    const Side& side = d == Direction::kPositive ? positive_ : negative_;
+    std::string out;
+    for (const char* n : side.type_names) {
+      if (!out.empty()) out += ", ";
+      out += n;
+    }
+    return out.empty() ? "<none>" : out;
+  }
 
  protected:
   PortType() = default;
@@ -54,13 +78,13 @@ class PortType {
   /// Declares that events of type E (and subtypes) pass in the `+` direction.
   template <class E>
   void positive() {
-    positive_.push_back({[](const Event& e) { return event_is<E>(e); }, typeid(E).name()});
+    declare<E>(positive_);
   }
 
   /// Declares that events of type E (and subtypes) pass in the `-` direction.
   template <class E>
   void negative() {
-    negative_.push_back({[](const Event& e) { return event_is<E>(e); }, typeid(E).name()});
+    declare<E>(negative_);
   }
 
   /// Paper synonym: indications travel in the positive direction.
@@ -78,12 +102,61 @@ class PortType {
   void set_name(std::string n) { name_ = std::move(n); }
 
  private:
-  struct Entry {
+  static constexpr std::uint8_t kMemoUnknown = 0;
+  static constexpr std::uint8_t kMemoAllowed = 1;
+  static constexpr std::uint8_t kMemoDenied = 2;
+
+  struct RttiEntry {
     std::function<bool(const Event&)> check;
     const char* type_name;
   };
-  std::vector<Entry> positive_;
-  std::vector<Entry> negative_;
+
+  struct Side {
+    std::vector<EventTypeId> registered_ids;  ///< entries with a TypeId
+    std::vector<RttiEntry> rtti_entries;      ///< unregistered entries
+    std::vector<const char*> type_names;      ///< all entries, for diagnostics
+    /// Verdict memo indexed by event TypeId; covers the registered entries
+    /// only (RTTI entries are per-dynamic-type and bypass it). Allocated on
+    /// first declaration — singleton port types declare in their
+    /// constructor, strictly before any allows().
+    std::unique_ptr<std::atomic<std::uint8_t>[]> memo;
+  };
+
+  template <class E>
+  void declare(Side& side) {
+    static_assert(std::is_base_of_v<Event, E>, "E must derive from kompics::Event");
+    side.type_names.push_back(typeid(E).name());
+    if (side.memo == nullptr) {
+      side.memo = std::make_unique<std::atomic<std::uint8_t>[]>(detail::kMaxEventTypes);
+    }
+    const EventTypeId id = detail::static_type_id_or_invalid<E>();
+    if (id != kEventTypeInvalid || std::is_same_v<E, Event>) {
+      side.registered_ids.push_back(id == kEventTypeInvalid ? kEventTypeRoot : id);
+    } else {
+      side.rtti_entries.push_back(
+          RttiEntry{[](const Event& e) { return event_is<E>(e); }, typeid(E).name()});
+    }
+  }
+
+  bool allows_slow(const Side& side, EventTypeId eid, const Event& e) const {
+    for (const EventTypeId id : side.registered_ids) {
+      if (detail::is_ancestor(id, eid)) {
+        side.memo[eid].store(kMemoAllowed, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    // The registered entries reject every event reporting this TypeId
+    // (sound even for unregistered dynamic types, which report their
+    // nearest registered ancestor's id — see event.hpp).
+    if (side.memo != nullptr) side.memo[eid].store(kMemoDenied, std::memory_order_relaxed);
+    for (const RttiEntry& entry : side.rtti_entries) {
+      if (entry.check(e)) return true;
+    }
+    return false;
+  }
+
+  Side positive_;
+  Side negative_;
   std::string name_{"port"};
 };
 

@@ -1,0 +1,222 @@
+#pragma once
+
+// RCU-style copy-on-write snapshot cell for the pub-sub hot path.
+//
+// The dispatch-side readers (PortCore::dispatch / arrive, Channel::forward)
+// must observe a consistent subscription/channel table without taking a
+// lock, while reconfiguration writers (subscribe/unsubscribe, attach/
+// detach, hold/resume/plug/unplug) build a *new immutable table* and
+// atomically swap it in. The classic obstacle is reclamation: a reader that
+// loaded the old table pointer must keep that table alive until it is done
+// scanning, with no per-thread registration and no reader-side locks.
+//
+// RcuCell solves it with split ("differential") reference counting:
+//
+//   - The cell packs {pointer, external count} into one 64-bit word.
+//     Readers acquire with a single fetch_add(+1) on that word: the add
+//     both publishes their reference (in the external count) and returns
+//     the pointer — one uncontended RMW, wait-free, no CAS loop.
+//   - Each RcuObject carries an internal count, initialized to a large
+//     bias. A reader *releases* by fetch_sub(1) on the internal count of
+//     the snapshot it holds — the cell word is never touched again, so a
+//     concurrent swap cannot lose the release.
+//   - The writer swaps with exchange(), learns how many readers ever
+//     acquired through the old word (its external count E), and folds the
+//     ledger together: internal += E - bias. From then on internal holds
+//     exactly the number of outstanding readers; whoever moves it to zero
+//     frees the object.
+//
+// The external count has kRcuCountBits of room between swaps. Long before
+// it can wrap into the pointer bits, readers that observe a high count
+// transfer a large batch of acquired references into the internal count
+// and CAS the external count back down (`maybe_relieve`), so an arbitrary
+// number of reads between swaps is safe.
+//
+// Writers serialize among themselves with the owner's existing mutex; the
+// cell only makes *readers* lock-free, which is the hot-path requirement.
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "debug.hpp"
+
+namespace kompics::detail {
+
+#if defined(KOMPICS_DEBUG_ASSERTS)
+/// Debug-build census of live RCU-managed tables: lets tests assert that
+/// copy-on-write reclamation really frees superseded tables (no reader
+/// leak, no double free — a double free would drive this negative and the
+/// destructor assert below fires first).
+inline std::atomic<std::int64_t> g_rcu_live_objects{0};
+inline std::int64_t rcu_live_objects() {
+  return g_rcu_live_objects.load(std::memory_order_acquire);
+}
+#endif
+
+/// Base class for snapshot tables managed by RcuCell.
+class RcuObject {
+ public:
+  RcuObject() {
+#if defined(KOMPICS_DEBUG_ASSERTS)
+    g_rcu_live_objects.fetch_add(1, std::memory_order_acq_rel);
+#endif
+  }
+  virtual ~RcuObject() {
+#if defined(KOMPICS_DEBUG_ASSERTS)
+    g_rcu_live_objects.fetch_sub(1, std::memory_order_acq_rel);
+#endif
+  }
+
+  RcuObject(const RcuObject&) = delete;
+  RcuObject& operator=(const RcuObject&) = delete;
+
+ private:
+  template <class T>
+  friend class RcuCell;
+  template <class T>
+  friend class RcuSnapshot;
+
+  static constexpr std::int64_t kBias = std::int64_t{1} << 40;
+
+  // Starts at kBias ("held by a cell"). See file comment for the ledger.
+  std::atomic<std::int64_t> rcu_refs_{kBias};
+};
+
+/// A reader's pinned reference to a snapshot. Movable, not copyable; the
+/// snapshot stays alive (and immutable) for the guard's lifetime.
+template <class T>
+class RcuSnapshot {
+ public:
+  RcuSnapshot() = default;
+  explicit RcuSnapshot(T* p) : ptr_(p) {}
+
+  RcuSnapshot(RcuSnapshot&& o) noexcept : ptr_(std::exchange(o.ptr_, nullptr)) {}
+  RcuSnapshot& operator=(RcuSnapshot&& o) noexcept {
+    if (this != &o) {
+      release();
+      ptr_ = std::exchange(o.ptr_, nullptr);
+    }
+    return *this;
+  }
+  RcuSnapshot(const RcuSnapshot&) = delete;
+  RcuSnapshot& operator=(const RcuSnapshot&) = delete;
+
+  ~RcuSnapshot() { release(); }
+
+  T* get() const { return ptr_; }
+  T* operator->() const { return ptr_; }
+  T& operator*() const { return *ptr_; }
+  explicit operator bool() const { return ptr_ != nullptr; }
+
+ private:
+  void release() {
+    if (ptr_ == nullptr) return;
+    const RcuObject* obj = ptr_;
+    const std::int64_t prev =
+        const_cast<RcuObject*>(obj)->rcu_refs_.fetch_sub(1, std::memory_order_acq_rel);
+    KOMPICS_ASSERT(prev >= 1, "RCU snapshot over-released");
+    if (prev == 1) delete ptr_;
+    ptr_ = nullptr;
+  }
+
+  T* ptr_ = nullptr;
+};
+
+template <class T>
+class RcuCell {
+ public:
+  /// Takes ownership of `initial` (must be non-null and heap-allocated).
+  explicit RcuCell(T* initial) {
+    word_.store(pack(initial, 0), std::memory_order_release);
+  }
+
+  RcuCell(const RcuCell&) = delete;
+  RcuCell& operator=(const RcuCell&) = delete;
+
+  ~RcuCell() {
+    // Equivalent to a final swap: fold the external ledger into the
+    // internal count and drop the cell's bias reference. Any still-alive
+    // snapshot guard keeps the table alive and frees it on release.
+    const std::uint64_t w = word_.load(std::memory_order_acquire);
+    retire(unpack_ptr(w), unpack_count(w));
+  }
+
+  /// Lock-free reader entry: one fetch_add pins the current table.
+  RcuSnapshot<T> acquire() const {
+    const std::uint64_t w = word_.fetch_add(1, std::memory_order_acquire);
+    T* p = unpack_ptr(w);
+    const std::uint64_t cnt = unpack_count(w) + 1;
+    KOMPICS_ASSERT(cnt < kCountMax - 1, "RCU external count exhausted between swaps");
+    if (cnt >= kRelieveThreshold) maybe_relieve(p);
+    return RcuSnapshot<T>(p);
+  }
+
+  /// Writer-side raw access to the current table. Only valid while the
+  /// caller holds the (external) writer mutex: no concurrent swap can
+  /// retire the table out from under it.
+  T* load_unlocked() const { return unpack_ptr(word_.load(std::memory_order_acquire)); }
+
+  /// Publishes `next` (taking ownership) and retires the previous table.
+  /// Only valid under the external writer mutex.
+  void swap(T* next) {
+    const std::uint64_t old = word_.exchange(pack(next, 0), std::memory_order_acq_rel);
+    retire(unpack_ptr(old), unpack_count(old));
+  }
+
+ private:
+  // Pointer is 8-byte aligned (low 3 bits zero) and ≤ 48 significant bits
+  // on every supported target, so `(ptr >> 3) << kRcuCountBits` round-trips.
+  static constexpr unsigned kRcuCountBits = 19;
+  static constexpr std::uint64_t kCountMax = (std::uint64_t{1} << kRcuCountBits) - 1;
+  static constexpr std::uint64_t kRelieveThreshold = std::uint64_t{1} << 18;
+  static constexpr std::uint64_t kRelieveBatch = std::uint64_t{1} << 17;
+
+  static std::uint64_t pack(T* p, std::uint64_t count) {
+    const auto bits = reinterpret_cast<std::uintptr_t>(static_cast<const RcuObject*>(p));
+    KOMPICS_ASSERT((bits & 0x7) == 0, "RCU table under-aligned");
+    KOMPICS_ASSERT((bits >> 48) == 0, "RCU pointer exceeds 48 bits");
+    return (static_cast<std::uint64_t>(bits) >> 3) << kRcuCountBits | count;
+  }
+  static T* unpack_ptr(std::uint64_t w) {
+    return static_cast<T*>(reinterpret_cast<RcuObject*>(
+        static_cast<std::uintptr_t>((w >> kRcuCountBits) << 3)));
+  }
+  static std::uint64_t unpack_count(std::uint64_t w) { return w & kCountMax; }
+
+  static void retire(T* p, std::uint64_t external) {
+    if (p == nullptr) return;
+    auto* obj = const_cast<RcuObject*>(static_cast<const RcuObject*>(p));
+    const std::int64_t delta = static_cast<std::int64_t>(external) - RcuObject::kBias;
+    const std::int64_t prev = obj->rcu_refs_.fetch_add(delta, std::memory_order_acq_rel);
+    KOMPICS_ASSERT(prev + delta >= 0, "RCU internal count went negative");
+    if (prev + delta == 0) delete p;
+  }
+
+  /// Transfers a batch of acquired references from the cell's external
+  /// count into the object's internal count so the external field cannot
+  /// wrap between swaps. The caller holds one pinned reference on `p`, so
+  /// the undo path can never be the one that frees it.
+  void maybe_relieve(T* p) const {
+    auto* obj = const_cast<RcuObject*>(static_cast<const RcuObject*>(p));
+    obj->rcu_refs_.fetch_add(static_cast<std::int64_t>(kRelieveBatch),
+                             std::memory_order_acq_rel);
+    std::uint64_t cur = word_.load(std::memory_order_acquire);
+    while (unpack_ptr(cur) == p && unpack_count(cur) >= kRelieveBatch) {
+      if (word_.compare_exchange_weak(cur, cur - kRelieveBatch, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return;  // kRelieveBatch external refs now live in the internal count
+      }
+    }
+    // Cell was swapped (or another reader relieved it first): undo. The
+    // pinned reference held by our caller guarantees prev > kRelieveBatch.
+    [[maybe_unused]] const std::int64_t prev = obj->rcu_refs_.fetch_sub(
+        static_cast<std::int64_t>(kRelieveBatch), std::memory_order_acq_rel);
+    KOMPICS_ASSERT(prev > static_cast<std::int64_t>(kRelieveBatch),
+                   "RCU relieve undo underflow");
+  }
+
+  mutable std::atomic<std::uint64_t> word_{0};
+};
+
+}  // namespace kompics::detail

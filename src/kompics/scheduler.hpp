@@ -7,6 +7,7 @@
 // changes.
 
 #include <memory>
+#include <vector>
 
 namespace kompics {
 
@@ -20,6 +21,16 @@ class Scheduler {
   /// Called exactly once per idle->ready transition of a component. The
   /// scheduler must eventually call ComponentCore::execute on it.
   virtual void schedule(ComponentCorePtr component) = 0;
+
+  /// Hands over a batch of idle->ready components in one call (one trigger
+  /// fanning out to many subscribers). Consumes the batch contents and
+  /// leaves `batch` empty (capacity preserved, so callers can reuse it).
+  /// Schedulers override this to amortize per-schedule costs — queue locks,
+  /// worker wake-ups — across the whole batch.
+  virtual void schedule_batch(std::vector<ComponentCorePtr>& batch) {
+    for (auto& c : batch) schedule(std::move(c));
+    batch.clear();
+  }
 
   /// Starts worker threads (no-op for single-threaded schedulers).
   virtual void start() = 0;

@@ -39,6 +39,7 @@ class WorkStealingScheduler final : public Scheduler {
   ~WorkStealingScheduler() override;
 
   void schedule(ComponentCorePtr component) override;
+  void schedule_batch(std::vector<ComponentCorePtr>& batch) override;
   void start() override;
   void shutdown() override;
 

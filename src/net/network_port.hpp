@@ -19,6 +19,8 @@ namespace kompics::net {
 /// destination addresses as in the paper's example:
 ///   class Message extends Event { Address source; Address destination; }
 class Message : public Event {
+  KOMPICS_EVENT(Message, Event);
+
  public:
   Message(Address source, Address destination) : source_(source), destination_(destination) {}
 
@@ -45,6 +47,8 @@ class Network : public PortType {
 /// Status indication delivered by network providers when a send could not
 /// be completed (connection refused, peer closed, serialization failure).
 class SendFailed : public Event {
+  KOMPICS_EVENT(SendFailed, Event);
+
  public:
   SendFailed(MessagePtr message, std::string reason)
       : message_(std::move(message)), reason_(std::move(reason)) {}

@@ -27,6 +27,8 @@ inline TimeoutId fresh_timeout_id() {
 /// Base class of all timeout indications. Subclass it to carry protocol
 /// data; construct with the id of the ScheduleTimeout it answers.
 class Timeout : public Event {
+  KOMPICS_EVENT(Timeout, Event);
+
  public:
   explicit Timeout(TimeoutId id) : id_(id) {}
   TimeoutId id() const { return id_; }
@@ -39,6 +41,8 @@ using TimeoutPtr = std::shared_ptr<const Timeout>;
 
 /// One-shot timer request: deliver `payload` after `delay_ms`.
 class ScheduleTimeout : public Event {
+  KOMPICS_EVENT(ScheduleTimeout, Event);
+
  public:
   ScheduleTimeout(std::int64_t delay_ms, TimeoutPtr payload)
       : delay_ms_(delay_ms), payload_(std::move(payload)) {}
@@ -55,6 +59,8 @@ class ScheduleTimeout : public Event {
 /// Periodic timer request: deliver `payload` after `initial_delay_ms`, then
 /// every `period_ms` until cancelled.
 class SchedulePeriodicTimeout : public Event {
+  KOMPICS_EVENT(SchedulePeriodicTimeout, Event);
+
  public:
   SchedulePeriodicTimeout(std::int64_t initial_delay_ms, std::int64_t period_ms,
                           TimeoutPtr payload)
@@ -73,6 +79,8 @@ class SchedulePeriodicTimeout : public Event {
 
 /// Cancels a pending (one-shot or periodic) timeout by id.
 class CancelTimeout : public Event {
+  KOMPICS_EVENT(CancelTimeout, Event);
+
  public:
   explicit CancelTimeout(TimeoutId id) : id_(id) {}
   TimeoutId id() const { return id_; }

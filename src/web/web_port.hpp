@@ -16,6 +16,8 @@
 namespace kompics::web {
 
 class WebRequest : public Event {
+  KOMPICS_EVENT(WebRequest, Event);
+
  public:
   WebRequest(std::uint64_t id, std::string method, std::string path, std::string query)
       : id(id), method(std::move(method)), path(std::move(path)), query(std::move(query)) {}
@@ -26,6 +28,8 @@ class WebRequest : public Event {
 };
 
 class WebResponse : public Event {
+  KOMPICS_EVENT(WebResponse, Event);
+
  public:
   WebResponse(std::uint64_t id, int status, std::string content_type, std::string body)
       : id(id), status(status), content_type(std::move(content_type)), body(std::move(body)) {}

@@ -233,6 +233,16 @@ TEST(Reconfiguration, ReplaceUnderLiveTrafficDropsNothing) {
   auto& def = main.definition_as<RelayMain>();
   rt->await_quiescence();
 
+  // The payload-recovery scheme below (v % 1'000'000) must work no matter
+  // which relay incarnation handled an in-flight event — a burst emitted
+  // just before a swap may race the Stop and be handled by either the old
+  // or the new relay; the protocol only promises exactly-once delivery,
+  // not which incarnation does the work. Make the *initial* relay's delta
+  // a multiple of 1'000'000 too (the ctor default of 1000 would alias
+  // round-0 payloads into round 1's range).
+  def.relay.control()->trigger(make_event<Relay::SetDelta>(1'000'000));
+  rt->await_quiescence();
+
   // Interleave bursts with swaps: each swap starts while the burst's events
   // are still in flight (in channels, in the old relay's queues, or mid-
   // handler). Held channels + the Stopped protocol + retire-forwarding must

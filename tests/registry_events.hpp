@@ -1,0 +1,78 @@
+#pragma once
+
+// Shared event hierarchy for the event-type-registry tests. Deliberately
+// included from TWO translation units (event_registry_test.cpp and
+// event_registry_tu2.cpp) to prove that lazy registration hands the same
+// class the same TypeId no matter which TU touches it first.
+
+#include "kompics/kompics.hpp"
+
+namespace kompics::test::reg {
+
+// Registered three-level chain: BaseEv -> MidEv -> LeafEv.
+class BaseEv : public Event {
+  KOMPICS_EVENT(BaseEv, Event);
+
+ public:
+  explicit BaseEv(int v = 0) : v(v) {}
+  int v;
+};
+
+class MidEv : public BaseEv {
+  KOMPICS_EVENT(MidEv, BaseEv);
+
+ public:
+  using BaseEv::BaseEv;
+};
+
+class LeafEv : public MidEv {
+  KOMPICS_EVENT(LeafEv, MidEv);
+
+ public:
+  using MidEv::MidEv;
+};
+
+// Registered sibling branch off BaseEv.
+class OtherEv : public BaseEv {
+  KOMPICS_EVENT(OtherEv, BaseEv);
+
+ public:
+  using BaseEv::BaseEv;
+};
+
+// UNREGISTERED subclass of a registered type: reports MidEv's TypeId and
+// must still behave exactly like dynamic_cast everywhere.
+class PlainLeaf : public MidEv {
+ public:
+  using MidEv::MidEv;
+};
+
+// Fully unregistered chain: both report the root id.
+class PlainBase : public Event {
+ public:
+  explicit PlainBase(int v = 0) : v(v) {}
+  int v;
+};
+
+class PlainDerived : public PlainBase {
+ public:
+  using PlainBase::PlainBase;
+};
+
+// Registered type whose declared base is unregistered: its registry parent
+// collapses to PlainBase's nearest registered ancestor (the root).
+class SkipMid : public PlainBase {
+  KOMPICS_EVENT(SkipMid, PlainBase);
+
+ public:
+  using PlainBase::PlainBase;
+};
+
+// TypeIds as observed by the OTHER translation unit.
+EventTypeId tu2_base_id();
+EventTypeId tu2_mid_id();
+EventTypeId tu2_leaf_id();
+EventTypeId tu2_skip_mid_id();
+bool tu2_event_is_mid(const Event& e);
+
+}  // namespace kompics::test::reg

@@ -1,0 +1,180 @@
+// Stress driver: lock-free snapshot dispatch racing channel reconfiguration
+// and subscription churn. One thread publishes at full rate through a
+// channel (exercising Channel::forward's snapshot fast path and PortCore's
+// RCU subscription tables) while a reconfiguration thread loops the §2.6
+// command set — hold / resume / unplug / plug — on that same channel and a
+// churn stream adds/removes subscriptions on the receiving port. Under the
+// no-loss guarantees of §2.6, the permanent subscription must still see
+// every published event exactly once.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "kompics/kompics.hpp"
+#include "stress_util.hpp"
+
+namespace kompics::test {
+namespace {
+
+class Tick : public Event {
+  KOMPICS_EVENT(Tick, Event);
+};
+class Churn : public Event {
+  KOMPICS_EVENT(Churn, Event);
+
+ public:
+  explicit Churn(bool add) : add(add) {}
+  bool add;
+};
+class SPort : public PortType {
+ public:
+  SPort() {
+    set_name("StressDispatchPort");
+    negative<Tick>();
+    negative<Churn>();
+  }
+};
+
+class Sink : public ComponentDefinition {
+ public:
+  Sink() {
+    subscribe<Tick>(port_, [this](const Tick&) { seen.fetch_add(1); });
+    subscribe<Churn>(port_, [this](const Churn& c) {
+      if (c.add && dynamic_.size() < 8) {
+        dynamic_.push_back(
+            subscribe<Tick>(port_, [this](const Tick&) { dynamic_seen.fetch_add(1); }));
+      } else if (!c.add && !dynamic_.empty()) {
+        unsubscribe(dynamic_.back());
+        dynamic_.pop_back();
+      }
+    });
+  }
+  std::size_t dynamic_count() const { return dynamic_.size(); }
+
+  Negative<SPort> port_ = provide<SPort>();
+  std::atomic<long> seen{0};
+  std::atomic<long> dynamic_seen{0};
+
+ private:
+  std::vector<SubscriptionRef> dynamic_;
+};
+
+class Source : public ComponentDefinition {
+ public:
+  Positive<SPort> port_ = require<SPort>();
+};
+
+class Main : public ComponentDefinition {
+ public:
+  Main() {
+    sink = create<Sink>();
+    source = create<Source>();
+    channel = connect(sink.provided<SPort>(), source.required<SPort>());
+  }
+  Component sink, source;
+  ChannelRef channel;
+};
+
+TEST(StressDispatchReconfig, PublisherAtFullRateVsReconfigStorm) {
+  const std::uint64_t seed = stress::announce_seed("StressDispatchReconfig.Storm");
+  const long kTicks = 20000 * stress::scale();
+  const int kChurns = 2000 * stress::scale();
+  const int kReconfigCycles = 1500 * stress::scale();
+
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  auto main = rt->bootstrap<Main>();
+  auto& def = main.definition_as<Main>();
+  rt->await_quiescence();
+  auto& sink = def.sink.definition_as<Sink>();
+
+  // The publisher triggers on the source's inside half: events cross to the
+  // outside half and reach the sink only THROUGH the channel under attack.
+  PortCore* pub =
+      def.source.core()->find_port(std::type_index(typeid(SPort)), false)->inside.get();
+  // The channel's positive end (the sink's provided outside half) is the
+  // end the reconfiguration thread unplugs: the publisher side stays
+  // attached, so in-flight events queue in the channel instead of missing
+  // it — the §2.6 no-loss discipline.
+  PortCore* sink_end = def.channel->positive_end();
+  ASSERT_NE(sink_end, nullptr);
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+
+  threads.emplace_back([&] {  // publisher, full rate
+    while (!go.load()) std::this_thread::yield();
+    for (long i = 0; i < kTicks; ++i) pub->trigger(make_event<Tick>());
+  });
+
+  threads.emplace_back([&] {  // subscription churn (through the same channel)
+    std::mt19937_64 rng(seed ^ 0xc0ffee);
+    while (!go.load()) std::this_thread::yield();
+    for (int i = 0; i < kChurns; ++i) {
+      pub->trigger(make_event<Churn>((rng() & 1) != 0));
+      if ((rng() & 0x1f) == 0) std::this_thread::yield();
+    }
+  });
+
+  threads.emplace_back([&] {  // §2.6 reconfiguration storm
+    std::mt19937_64 rng(seed ^ 0xdead);
+    while (!go.load()) std::this_thread::yield();
+    for (int i = 0; i < kReconfigCycles; ++i) {
+      switch (rng() & 3) {
+        case 0:
+          def.channel->hold();
+          std::this_thread::yield();
+          def.channel->resume();
+          break;
+        case 1:
+          def.channel->unplug(sink_end);
+          std::this_thread::yield();
+          def.channel->plug(sink_end);
+          break;
+        case 2:
+          def.channel->hold();
+          def.channel->unplug(sink_end);
+          def.channel->plug(sink_end);
+          def.channel->resume();
+          break;
+        default:
+          def.channel->hold();
+          def.channel->resume();
+          def.channel->unplug(sink_end);
+          std::this_thread::yield();
+          def.channel->plug(sink_end);
+          break;
+      }
+      if ((rng() & 0xf) == 0) std::this_thread::yield();
+    }
+  });
+
+  go.store(true);
+  for (auto& t : threads) t.join();
+  rt->await_quiescence();
+
+  // Channel back to a fully-plugged active state with nothing queued.
+  EXPECT_EQ(def.channel->state(), Channel::State::kActive);
+  EXPECT_EQ(def.channel->positive_end(), sink_end);
+  EXPECT_EQ(def.channel->queued(), 0u);
+
+  // No-loss, no-duplication: the permanent subscription saw every tick.
+  EXPECT_EQ(sink.seen.load(), kTicks)
+      << "events lost or duplicated across hold/resume/unplug/plug storm";
+
+  // Drain dynamic subscriptions; a quiesced unsubscribe must be final.
+  for (int i = 0; i < 8; ++i) pub->trigger(make_event<Churn>(false));
+  rt->await_quiescence();
+  ASSERT_EQ(sink.dynamic_count(), 0u);
+  const long dynamic_before = sink.dynamic_seen.load();
+  for (int i = 0; i < 500; ++i) pub->trigger(make_event<Tick>());
+  rt->await_quiescence();
+  EXPECT_EQ(sink.dynamic_seen.load(), dynamic_before);
+  EXPECT_EQ(sink.seen.load(), kTicks + 500);
+}
+
+}  // namespace
+}  // namespace kompics::test
