@@ -6,11 +6,27 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "kompics/kompics.hpp"
 
 using namespace kompics;
 
 namespace {
+
+// KOMPICS_TELEMETRY=off|sampled|full selects the telemetry mode for every
+// runtime the benchmarks create (scripts/bench_pubsub.sh drives this to
+// produce BENCH_telemetry.json). Default off: the overhead-budget baseline.
+void apply_telemetry_mode(Runtime& rt) {
+  const char* mode = std::getenv("KOMPICS_TELEMETRY");
+  if (mode == nullptr || std::strcmp(mode, "off") == 0) return;
+  if (std::strcmp(mode, "sampled") == 0) {
+    rt.telemetry().enable_all(/*sample=*/0.01);
+  } else if (std::strcmp(mode, "full") == 0) {
+    rt.telemetry().enable_all(/*sample=*/1.0);
+  }
+}
 
 class Tick : public Event {
   KOMPICS_EVENT(Tick, Event);
@@ -92,6 +108,7 @@ class ChainMain : public ComponentDefinition {
 // One subscriber, varying handler count (Fig. 7 semantics).
 void BM_DispatchHandlers(benchmark::State& state) {
   auto rt = Runtime::threaded(Config{}, 2, 1);
+  apply_telemetry_mode(*rt);
   auto main = rt->bootstrap<FanMain>(1, static_cast<int>(state.range(0)));
   rt->await_quiescence();
   auto& emitter = main.definition_as<FanMain>().emitter.definition_as<Emitter>();
@@ -107,6 +124,7 @@ BENCHMARK(BM_DispatchHandlers)->Arg(1)->Arg(2)->Arg(4)->Arg(16);
 // Fan-out to N subscriber components via N channels (Fig. 6 semantics).
 void BM_FanOutSubscribers(benchmark::State& state) {
   auto rt = Runtime::threaded(Config{}, 4, 1);
+  apply_telemetry_mode(*rt);
   auto main = rt->bootstrap<FanMain>(static_cast<int>(state.range(0)), 1);
   rt->await_quiescence();
   auto& emitter = main.definition_as<FanMain>().emitter.definition_as<Emitter>();
@@ -122,6 +140,7 @@ BENCHMARK(BM_FanOutSubscribers)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 // Composite pass-through pipeline: per-hop cost through channels.
 void BM_ChannelChain(benchmark::State& state) {
   auto rt = Runtime::threaded(Config{}, 2, 1);
+  apply_telemetry_mode(*rt);
   auto main = rt->bootstrap<ChainMain>(static_cast<int>(state.range(0)));
   rt->await_quiescence();
   auto& emitter = main.definition_as<ChainMain>().emitter.definition_as<Emitter>();
@@ -138,6 +157,7 @@ BENCHMARK(BM_ChannelChain)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 // emit a burst of B events, then drain once.
 void BM_TriggerBurst(benchmark::State& state) {
   auto rt = Runtime::threaded(Config{}, 2, 1);
+  apply_telemetry_mode(*rt);
   auto main = rt->bootstrap<FanMain>(1, 1);
   rt->await_quiescence();
   auto& emitter = main.definition_as<FanMain>().emitter.definition_as<Emitter>();

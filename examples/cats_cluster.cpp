@@ -129,7 +129,14 @@ int main(int argc, char** argv) {
   const int ops = argc > 2 ? std::atoi(argv[2]) : 200;
   const auto http_port = static_cast<std::uint16_t>(argc > 3 ? std::atoi(argv[3]) : 0);
 
-  auto runtime = Runtime::threaded();
+  // Kernel telemetry via config gates: metrics + flight recorder on, causal
+  // tracing sampled at 1% — the production-shaped setting the ≤3% overhead
+  // budget is enforced against.
+  Config cfg;
+  cfg.set("telemetry.metrics", true);
+  cfg.set("telemetry.trace_sampling", 0.01);
+  cfg.set("telemetry.flight_recorder", true);
+  auto runtime = Runtime::threaded(std::move(cfg));
   auto main_c = runtime->bootstrap<ClusterMain>(nodes, http_port);
   auto& cluster = main_c.definition_as<ClusterMain>();
 
@@ -181,6 +188,8 @@ int main(int argc, char** argv) {
 
   if (http_port != 0) {
     std::printf("status page live at http://127.0.0.1:%u/ — ctrl-c to quit\n", http_port);
+    std::printf("kernel telemetry:  http://127.0.0.1:%u/metrics (Prometheus), /trace (spans)\n",
+                http_port);
     for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
   }
   return bad.load() == 0 ? 0 : 1;

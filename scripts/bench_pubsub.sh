@@ -18,8 +18,120 @@
 #   scripts/bench_pubsub.sh build /tmp/pubsub_before.json
 #   checkout the change && build
 #   scripts/bench_pubsub.sh build BENCH_pubsub.json /tmp/pubsub_before.json
+#
+# Telemetry overhead mode:
+#   scripts/bench_pubsub.sh --telemetry [BUILD_DIR] [OUT_JSON] [BASELINE_JSON]
+#
+# Runs bench_core_pubsub three times — KOMPICS_TELEMETRY=off (compiled in,
+# all gates cold), sampled (metrics + recorder + 1% trace sampling), and
+# full (100% sampling) — and emits OUT_JSON (default: BENCH_telemetry.json)
+# with per-benchmark overhead ratios. If BASELINE_JSON (a BENCH_pubsub.json
+# captured on a tree *without* the telemetry hooks) is given, the disabled
+# path is compared against it and the ≤3% overhead budget is enforced:
+# exit 1 when the geometric-mean slowdown of "off" exceeds 3%.
 
 set -euo pipefail
+
+if [[ "${1:-}" == "--telemetry" ]]; then
+  shift
+  BUILD_DIR="${1:-build}"
+  OUT_JSON="${2:-BENCH_telemetry.json}"
+  BASELINE_JSON="${3:-}"
+  MIN_TIME="${BENCH_MIN_TIME:-0.2}"
+  PUBSUB_BIN="$BUILD_DIR/bench/bench_core_pubsub"
+  if [[ ! -x "$PUBSUB_BIN" ]]; then
+    echo "error: $PUBSUB_BIN not found (build the '$BUILD_DIR' tree first)" >&2
+    exit 1
+  fi
+  tmp_off="$(mktemp)"; tmp_sampled="$(mktemp)"; tmp_full="$(mktemp)"
+  trap 'rm -f "$tmp_off" "$tmp_sampled" "$tmp_full"' EXIT
+  for mode in off sampled full; do
+    echo "[bench_pubsub] telemetry=$mode (min_time=$MIN_TIME)..." >&2
+    out_var="tmp_$mode"
+    KOMPICS_TELEMETRY="$mode" "$PUBSUB_BIN" --benchmark_format=json \
+      --benchmark_min_time="$MIN_TIME" >"${!out_var}"
+  done
+  python3 - "$tmp_off" "$tmp_sampled" "$tmp_full" "$OUT_JSON" "$BASELINE_JSON" <<'PY'
+import json, math, subprocess, sys
+
+off_path, sampled_path, full_path, out_path, baseline_path = sys.argv[1:6]
+
+def load(path):
+    raw = json.load(open(path))
+    return raw, {
+        b["name"]: {
+            "real_time_ns": b.get("real_time"),
+            "items_per_second": b.get("items_per_second"),
+        }
+        for b in raw.get("benchmarks", [])
+        if b.get("run_type") != "aggregate"
+    }
+
+raw_off, off = load(off_path)
+_, sampled = load(sampled_path)
+_, full = load(full_path)
+
+def overhead(base, other):
+    """Per-benchmark slowdown of `other` relative to `base` (1.0 = equal)."""
+    out = {}
+    for name, b in base.items():
+        o = other.get(name)
+        if o and b.get("items_per_second") and o.get("items_per_second"):
+            out[name] = round(b["items_per_second"] / o["items_per_second"], 3)
+    return out
+
+def geomean(ratios):
+    vals = [v for v in ratios.values() if v > 0]
+    return round(math.exp(sum(math.log(v) for v in vals) / len(vals)), 4) if vals else None
+
+try:
+    rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True).stdout.strip() or None
+except OSError:
+    rev = None
+
+result = {
+    "schema": "kompics-bench-telemetry-v1",
+    "context": {
+        "date": raw_off.get("context", {}).get("date"),
+        "host": raw_off.get("context", {}).get("host_name"),
+        "num_cpus": raw_off.get("context", {}).get("num_cpus"),
+        "git_rev": rev,
+    },
+    "modes": {"off": off, "sampled": sampled, "full": full},
+    "overhead_sampled_vs_off": overhead(off, sampled),
+    "overhead_full_vs_off": overhead(off, full),
+}
+result["geomean_sampled_vs_off"] = geomean(result["overhead_sampled_vs_off"])
+result["geomean_full_vs_off"] = geomean(result["overhead_full_vs_off"])
+
+budget_ok = None
+if baseline_path:
+    base = json.load(open(baseline_path))
+    base_micro = base.get("bench_core_pubsub") or {
+        b["name"]: {
+            "real_time_ns": b.get("real_time"),
+            "items_per_second": b.get("items_per_second"),
+        }
+        for b in base.get("benchmarks", [])
+    }
+    result["overhead_off_vs_baseline"] = overhead(base_micro, off)
+    gm = geomean(result["overhead_off_vs_baseline"])
+    result["geomean_off_vs_baseline"] = gm
+    budget_ok = gm is not None and gm <= 1.03
+    result["disabled_overhead_budget"] = {"limit": 1.03, "ok": budget_ok}
+
+json.dump(result, open(out_path, "w"), indent=2)
+print(f"[bench_pubsub] wrote {out_path}")
+print(f"  geomean sampled/off: {result['geomean_sampled_vs_off']}x")
+print(f"  geomean full/off:    {result['geomean_full_vs_off']}x")
+if budget_ok is not None:
+    print(f"  geomean off/baseline: {result['geomean_off_vs_baseline']}x "
+          f"(budget 1.03x: {'OK' if budget_ok else 'EXCEEDED'})")
+    sys.exit(0 if budget_ok else 1)
+PY
+  exit $?
+fi
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_pubsub.json}"

@@ -1,5 +1,7 @@
 #include "cats/monitor.hpp"
 
+#include "kompics/telemetry.hpp"
+
 namespace kompics::cats {
 
 MonitorClient::MonitorClient() {
@@ -33,6 +35,13 @@ MonitorClient::MonitorClient() {
 
   subscribe<RoundClose>(timer_, [this](const RoundClose& rc) {
     if (rc.round != round_ || collected_.empty()) return;
+    // Kernel telemetry rides the same §4.1 report as the app-level status:
+    // scheduler counters, event/trace totals, pending work (kernel.* keys).
+    if (runtime().telemetry().metrics_enabled()) {
+      for (const auto& [k, v] : telemetry::kernel_status_fields(runtime())) {
+        collected_[k] = v;
+      }
+    }
     trigger(make_event<StatusReportMsg>(self_.addr, server_, self_, collected_), network_);
   });
 }
@@ -40,7 +49,10 @@ MonitorClient::MonitorClient() {
 MonitorServer::MonitorServer() {
   register_cats_serializers();
 
-  subscribe<Init>(control(), [this](const Init& init) { self_ = init.self; });
+  subscribe<Init>(control(), [this](const Init& init) {
+    self_ = init.self;
+    stale_after_ms_ = init.stale_after_ms;
+  });
 
   subscribe<StatusReportMsg>(network_, [this](const StatusReportMsg& msg) {
     std::lock_guard<std::mutex> g(view_mu_);
@@ -63,10 +75,15 @@ MonitorServer::MonitorServer() {
 }
 
 std::string MonitorServer::render_text() const {
+  const TimeMs at = now();
   std::lock_guard<std::mutex> g(view_mu_);
   std::string out = "=== CATS global view: " + std::to_string(view_.size()) + " node(s) ===\n";
   for (const auto& [addr, report] : view_) {
-    out += report.node.addr.to_node_string() + " (key " + ring_key_str(report.node.key) + ")\n";
+    const TimeMs age = at >= report.received ? at - report.received : 0;
+    out += report.node.addr.to_node_string() + " (key " + ring_key_str(report.node.key) +
+           ") age=" + std::to_string(age) + "ms";
+    if (age > stale_after_ms_) out += " STALE";
+    out += "\n";
     for (const auto& [k, v] : report.fields) {
       out += "  " + k + " = " + v + "\n";
     }

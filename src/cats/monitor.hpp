@@ -60,8 +60,13 @@ class MonitorClient : public ComponentDefinition {
 class MonitorServer : public ComponentDefinition {
  public:
   struct Init : kompics::Init {
-    explicit Init(Address self) : self(self) {}
+    explicit Init(Address self, DurationMs stale_after_ms = 2000)
+        : self(self), stale_after_ms(stale_after_ms) {}
     Address self;
+    /// A node whose last report is older than this is flagged STALE in
+    /// render_text() — the global view says so instead of silently showing
+    /// the last snapshot of a node that stopped reporting.
+    DurationMs stale_after_ms;
   };
 
   MonitorServer();
@@ -86,6 +91,7 @@ class MonitorServer : public ComponentDefinition {
   Positive<net::Network> network_ = require<net::Network>();
 
   Address self_;
+  DurationMs stale_after_ms_ = 2000;
   // Guards view_ and reports_received_ against external readers; handlers
   // are already serialized per component but render_text()/global_view()
   // run on whatever thread owns the MonitorServer handle.

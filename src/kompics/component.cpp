@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "kompics.hpp"
+#include "telemetry.hpp"
 
 namespace kompics {
 
@@ -29,6 +30,16 @@ ComponentCore::~ComponentCore() {
   // No concurrency from here on: the definition's threads are joined and
   // the last shared_ptr just dropped, so no producer can reference us.
   drain_all_queues();
+  delete telemetry_stats_.load(std::memory_order_acquire);
+}
+
+telemetry::ComponentStats& ComponentCore::telemetry_stats_mut() {
+  telemetry::ComponentStats* st = telemetry_stats_.load(std::memory_order_relaxed);
+  if (st == nullptr) {
+    st = new telemetry::ComponentStats();
+    telemetry_stats_.store(st, std::memory_order_release);  // publish to scrapers
+  }
+  return *st;
 }
 
 void ComponentCore::set_definition(std::unique_ptr<ComponentDefinition> def) {
@@ -374,6 +385,36 @@ void ComponentCore::run_item(WorkItem* item) {
   const bool is_control = item->control;
   work_item_pool().release(item);
 
+  // Telemetry prologue. With everything disabled this costs three relaxed
+  // loads and `timed` stays false, so no clock is read and no name is
+  // resolved (the ≤3% overhead budget of the dispatch hot path).
+  telemetry::Telemetry& tel = runtime_->telemetry();
+  const bool metrics = tel.metrics_enabled();
+  const bool recording = tel.recorder_enabled();
+  const std::uint64_t trace_word = event->kompics_trace_word();
+  const bool traced = trace_word != 0 && tel.tracing_enabled();
+  const bool timed = metrics || recording || traced;
+  const std::uint64_t t0 = timed ? telemetry::now_ns() : 0;
+  telemetry::SpanScope span;  // restores the previous active span on exit
+  std::uint32_t span_id = 0;
+  if (traced) span_id = span.open(tel, trace_word);
+  std::uint64_t invoked = 0;
+  auto observe = [&](bool faulted) {
+    const std::uint64_t dur = telemetry::now_ns() - t0;
+    const char* event_name = typeid(*event).name();
+    if (metrics) {
+      telemetry::ComponentStats& st = telemetry_stats_mut();
+      st.dispatches.fetch_add(1, std::memory_order_relaxed);
+      st.handler_invocations.fetch_add(invoked, std::memory_order_relaxed);
+      st.handler_ns.record(dur);
+    }
+    if (traced) tel.record_span(trace_word, span_id, *this, event_name, t0, dur);
+    if (recording) {
+      tel.record_dispatch(*this, event_name, is_control, faulted,
+                          telemetry::trace_of_word(trace_word), t0, dur);
+    }
+  };
+
   // Execution-time re-match (paper semantics for (un)subscribe during
   // handling), served from the epoch-validated cache.
   const auto& subs = matching_subs_cached(half, *event);
@@ -387,11 +428,15 @@ void ComponentCore::run_item(WorkItem* item) {
     if (!s->active.load(std::memory_order_acquire)) continue;
     try {
       s->invoke(*event);
+      ++invoked;
     } catch (...) {
       if (definition_ != nullptr) {
         definition_->in_handler_ = false;
         definition_->current_event_ = nullptr;
       }
+      // Record the faulting dispatch first so the §2.5 crash dump taken by
+      // escalate_fault includes it as its most recent entry.
+      if (timed) observe(/*faulted=*/true);
       escalate_fault(std::current_exception());
       return;
     }
@@ -400,6 +445,7 @@ void ComponentCore::run_item(WorkItem* item) {
     definition_->in_handler_ = false;
     definition_->current_event_ = nullptr;
   }
+  if (timed) observe(/*faulted=*/false);
 
   if (is_control && half == control_inside()) builtin_lifecycle_event(*event);
 }
@@ -538,6 +584,14 @@ void ComponentCore::escalate_fault(std::exception_ptr error) {
   } catch (const std::exception& ex) {
     what = ex.what();
   } catch (...) {
+  }
+  telemetry::Telemetry& tel = runtime_->telemetry();
+  if (tel.metrics_enabled()) {
+    telemetry_stats_mut().faults.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (tel.recorder_enabled()) {
+    // §2.5: every fault report carries the dispatch history leading to it.
+    tel.capture_crash_dump(what, this);
   }
   auto fault = std::make_shared<const Fault>(error, this, what);
 

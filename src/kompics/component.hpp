@@ -49,6 +49,10 @@ namespace detail {
 class DispatchBatch;
 }  // namespace detail
 
+namespace telemetry {
+struct ComponentStats;
+}  // namespace telemetry
+
 /// Handle to a (sub)component held by its creator — grants access to the
 /// child's outside port halves for connect() and life-cycle triggers.
 class Component {
@@ -160,6 +164,21 @@ class ComponentCore : public std::enable_shared_from_this<ComponentCore> {
   /// Number of work units currently counted against this component.
   std::int64_t work_count() const { return work_count_.load(std::memory_order_acquire); }
 
+  // ---- telemetry ---------------------------------------------------------
+  /// The component's metrics block, or nullptr while it never ran with
+  /// metrics enabled (lazy: 16k-node simulations with telemetry off pay
+  /// nothing). Safe to read from any thread (scrape path).
+  const telemetry::ComponentStats* telemetry_stats() const {
+    return telemetry_stats_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Consumer-only lazy creation (run_item under the §3 single-consumer
+  /// discipline is the only writer).
+  telemetry::ComponentStats& telemetry_stats_mut();
+
+ public:
+
  private:
   friend class ComponentDefinition;
   friend class detail::DispatchBatch;
@@ -244,6 +263,7 @@ class ComponentCore : public std::enable_shared_from_this<ComponentCore> {
   std::atomic<int> stop_pending_{0};   // children yet to confirm Stopped
   std::atomic<int> start_pending_{0};  // children yet to confirm Started
   ComponentCorePtr forward_to_;        // §2.6 retire target (under structure_mu_)
+  std::atomic<telemetry::ComponentStats*> telemetry_stats_{nullptr};  // lazy, owned
 };
 
 namespace detail {

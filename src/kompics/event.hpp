@@ -134,10 +134,29 @@ class Event {
   /// are exact for any registered target type under single inheritance.
   virtual EventTypeId kompics_type_id() const { return kEventTypeRoot; }
 
+  // ---- telemetry envelope (telemetry.hpp) --------------------------------
+  // One word carrying (trace id, parent span id) for sampled causal tracing.
+  // Stamped at most once, at the event's first trigger(); 0 means untraced.
+  // The slot is the only mutable state on an event, and it never affects
+  // dispatch — it is write-once metadata riding the envelope so a trace
+  // survives channel forwarding and replay unchanged.
+  std::uint64_t kompics_trace_word() const {
+    return kompics_trace_word_.load(std::memory_order_relaxed);
+  }
+  void kompics_stamp_trace(std::uint64_t word) const {
+    std::uint64_t expected = 0;  // first stamp wins (events fan out to many ports)
+    kompics_trace_word_.compare_exchange_strong(expected, word, std::memory_order_relaxed);
+  }
+
  protected:
   Event() = default;
-  Event(const Event&) = default;
-  Event& operator=(const Event&) = default;
+  // A copied event is a distinct publication: the trace word stays 0 so the
+  // copy gets its own stamp. (Manual ops because atomics are not copyable.)
+  Event(const Event&) noexcept {}
+  Event& operator=(const Event&) noexcept { return *this; }
+
+ private:
+  mutable std::atomic<std::uint64_t> kompics_trace_word_{0};
 };
 
 /// Registers event type E with direct base Base in the type registry and

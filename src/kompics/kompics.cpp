@@ -29,7 +29,13 @@ Runtime::Runtime(Config config, std::unique_ptr<Scheduler> scheduler, std::uniqu
     : config_(std::move(config)),
       scheduler_(std::move(scheduler)),
       clock_(std::move(clock)),
-      seed_(seed) {}
+      seed_(seed) {
+  // Deploy-time telemetry gates (paper §3: composition through config, not
+  // code). Absent keys leave everything off — a zero-cost black box.
+  telemetry_.enable_metrics(config_.get_or<bool>("telemetry.metrics", false));
+  telemetry_.set_trace_sampling(config_.get_or<double>("telemetry.trace_sampling", 0.0));
+  telemetry_.enable_flight_recorder(config_.get_or<bool>("telemetry.flight_recorder", false));
+}
 
 Runtime::~Runtime() {
   scheduler_->shutdown();
@@ -104,6 +110,10 @@ void Runtime::on_unhandled_fault(const Fault& fault) {
   std::fprintf(stderr, "[kompics] unhandled fault in component %llu: %s\n",
                static_cast<unsigned long long>(fault.source() != nullptr ? fault.source()->id() : 0),
                fault.what().c_str());
+  // When the flight recorder was on, escalate_fault captured the dispatch
+  // history leading up to the fault — surface it with the report.
+  const std::string dump = telemetry_.last_crash_dump();
+  if (!dump.empty()) std::fprintf(stderr, "%s", dump.c_str());
   scheduler_->shutdown();
 }
 

@@ -18,6 +18,7 @@
 #include "config.hpp"
 #include "lifecycle.hpp"
 #include "scheduler.hpp"
+#include "telemetry.hpp"
 
 namespace kompics {
 
@@ -89,6 +90,11 @@ class Runtime {
   std::int64_t pending() const { return pending_.load(std::memory_order_acquire); }
 
   Scheduler& scheduler() { return *scheduler_; }
+  /// Kernel telemetry (telemetry.hpp): metrics, causal tracing, flight
+  /// recorder. Always present; all gates default off unless the config
+  /// carries telemetry.* keys (see the Runtime constructor).
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
   Clock& clock() const { return *clock_; }
   const Config& config() const { return config_; }
   std::uint64_t seed() const { return seed_; }
@@ -108,6 +114,7 @@ class Runtime {
  private:
   Config config_;
   std::unique_ptr<Scheduler> scheduler_;
+  telemetry::Telemetry telemetry_;
   std::unique_ptr<Clock> clock_;
   std::uint64_t seed_;
   std::atomic<std::uint64_t> next_id_{1};

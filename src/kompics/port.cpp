@@ -5,7 +5,9 @@
 
 #include "channel.hpp"
 #include "component.hpp"
+#include "kompics.hpp"
 #include "lifecycle.hpp"
+#include "telemetry.hpp"
 
 namespace kompics {
 
@@ -67,6 +69,14 @@ void PortCore::trigger(const EventPtr& e) {
                            "' in the triggered direction (allowed: " +
                            type_->allowed_types(d) + ")");
   }
+  // Telemetry touch points, both behind relaxed single-load gates so the
+  // disabled path adds only two predicted-untaken branches here.
+  telemetry::Telemetry& tel = owner_->runtime()->telemetry();
+  if (tel.metrics_enabled()) {
+    publish_count_.fetch_add(1, std::memory_order_relaxed);
+    tel.events_published().add();
+  }
+  if (tel.tracing_enabled()) tel.stamp_event(*e);
   // The whole synchronous propagation below (port pair, channels, fan-out
   // dispatch) batches its scheduler hand-off into one flush at scope exit.
   detail::DispatchBatchScope batch;

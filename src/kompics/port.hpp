@@ -82,6 +82,11 @@ class PortCore {
   /// Entry point used by ComponentDefinition::trigger.
   void trigger(const EventPtr& e);
 
+  /// trigger() calls observed on this half while metrics were enabled.
+  std::uint64_t publish_count() const {
+    return publish_count_.load(std::memory_order_relaxed);
+  }
+
   /// An event with direction d arrives at this half (rule step above).
   void arrive(const EventPtr& e, Direction d);
 
@@ -150,6 +155,9 @@ class PortCore {
   // pinned the pre-swap snapshot.
   std::atomic<std::uint32_t> sub_count_{0};
   std::atomic<std::uint32_t> chan_count_{0};
+  // Telemetry: bumped in trigger() only while metrics are enabled, so the
+  // disabled hot path never writes this line.
+  std::atomic<std::uint64_t> publish_count_{0};
 };
 
 /// A declared port: the linked pair of halves.

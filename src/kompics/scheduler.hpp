@@ -6,7 +6,10 @@
 // deterministic simulation scheduler — only the Scheduler implementation
 // changes.
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace kompics {
@@ -37,6 +40,14 @@ class Scheduler {
 
   /// Stops accepting work and joins workers.
   virtual void shutdown() = 0;
+
+  /// Named counters for the telemetry surface (telemetry.hpp): /metrics
+  /// exposes them as kompics_scheduler_total{counter="..."} and the §4.1
+  /// monitoring rounds ship them as kernel.sched.* status fields.
+  /// Single-threaded schedulers may report nothing.
+  virtual std::vector<std::pair<std::string, std::uint64_t>> telemetry_counters() const {
+    return {};
+  }
 };
 
 }  // namespace kompics

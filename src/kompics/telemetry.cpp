@@ -1,0 +1,474 @@
+#include "telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <set>
+#include <typeinfo>
+
+#include "channel.hpp"
+#include "component.hpp"
+#include "event.hpp"
+#include "kompics.hpp"
+#include "port.hpp"
+#include "scheduler.hpp"
+
+namespace kompics::telemetry {
+
+std::uint64_t now_ns() {
+  using namespace std::chrono;
+  return static_cast<std::uint64_t>(
+      duration_cast<nanoseconds>(steady_clock::now().time_since_epoch()).count());
+}
+
+// ---------------------------------------------------------------------------
+// ShardedCounter
+// ---------------------------------------------------------------------------
+
+std::size_t ShardedCounter::shard_index() {
+  // Sticky per-thread shard, round-robin assigned so writers spread evenly
+  // regardless of thread-id hashing quality.
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return mine;
+}
+
+std::uint64_t LatencyHistogram::Snapshot::quantile_upper_ns(double q) const {
+  if (count == 0) return 0;
+  const double want = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (static_cast<double>(seen) >= want) return bucket_upper_bound(b);
+  }
+  return bucket_upper_bound(kBuckets - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t fresh_instance_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Thread-local single-entry cache: (telemetry instance id -> its ThreadLog).
+// Threads overwhelmingly serve one runtime; a miss just re-registers under
+// the registry mutex. Holding shared_ptr keeps the log alive even if the
+// owning Telemetry dies first (writes then land in an orphaned ring).
+struct TlLogCache {
+  std::uint64_t instance_id = 0;
+  std::shared_ptr<void> log;
+};
+thread_local TlLogCache tl_log_cache;
+
+thread_local Telemetry::ActiveSpan tl_active_span{};
+
+// Per-thread xorshift64* for the sampling decision: cheaper than the
+// component RngStream and needs no locking or determinism.
+std::uint64_t tl_sample_rng() {
+  thread_local std::uint64_t state =
+      0x9e3779b97f4a7c15ULL ^
+      (0x2545F4914F6CDD1DULL *
+       (ShardedCounter::shard_index() + 0x632be59bd9b4e019ULL) << 1);
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace
+
+Telemetry::Telemetry() : instance_id_(fresh_instance_id()) {}
+
+void Telemetry::set_trace_sampling(double probability) {
+  std::uint64_t threshold = 0;
+  if (probability >= 1.0) {
+    threshold = ~0ULL;
+  } else if (probability > 0.0) {
+    threshold = static_cast<std::uint64_t>(
+        probability * 18446744073709551615.0);  // p * (2^64 - 1)
+    if (threshold == 0) threshold = 1;
+  }
+  trace_threshold_.store(threshold, std::memory_order_relaxed);
+}
+
+bool Telemetry::sample() {
+  const std::uint64_t threshold = trace_threshold_.load(std::memory_order_relaxed);
+  if (threshold == 0) return false;
+  if (threshold == ~0ULL) return true;
+  return tl_sample_rng() < threshold;
+}
+
+Telemetry::ThreadLog& Telemetry::local_log() {
+  if (tl_log_cache.instance_id == instance_id_ && tl_log_cache.log != nullptr) {
+    return *static_cast<ThreadLog*>(tl_log_cache.log.get());
+  }
+  // Cache miss: a thread that alternates between runtimes re-finds its ring
+  // in the registry (keyed by thread id) instead of registering a new one.
+  const std::thread::id self = std::this_thread::get_id();
+  std::shared_ptr<ThreadLog> log;
+  {
+    std::lock_guard<std::mutex> g(logs_mu_);
+    for (const auto& l : logs_) {
+      if (l->owner == self) {
+        log = l;
+        break;
+      }
+    }
+    if (log == nullptr) {
+      log = std::make_shared<ThreadLog>();
+      log->owner = self;
+      log->spans.resize(kSpanRingCap);
+      log->flight.resize(kFlightRingCap);
+      logs_.push_back(log);
+    }
+  }
+  tl_log_cache = TlLogCache{instance_id_, log};
+  return *log;
+}
+
+void Telemetry::stamp_event(const Event& e) {
+  if (e.kompics_trace_word() != 0) return;  // already part of a trace
+  std::uint64_t word = 0;
+  if (tl_active_span.trace_id != 0) {
+    // Causal inheritance: an event triggered from inside a traced handler
+    // joins that trace with the running span as its parent.
+    word = pack_trace_word(tl_active_span.trace_id, tl_active_span.span_id);
+  } else if (sample()) {
+    std::uint32_t id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+    if (id == 0) id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+    word = pack_trace_word(id, 0);
+    traces_started_.add();
+  } else {
+    return;
+  }
+  e.kompics_stamp_trace(word);
+}
+
+std::uint32_t Telemetry::open_span(std::uint64_t trace_word) {
+  std::uint32_t id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  if (id == 0) id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  tl_active_span = ActiveSpan{trace_of_word(trace_word), id};
+  return id;
+}
+
+void Telemetry::close_span(ActiveSpan previous) { tl_active_span = previous; }
+
+Telemetry::ActiveSpan Telemetry::active_span() const { return tl_active_span; }
+
+void Telemetry::record_span(std::uint64_t trace_word, std::uint32_t span_id,
+                            const ComponentCore& component, const char* event_type,
+                            std::uint64_t start_ns, std::uint64_t dur_ns) {
+  ThreadLog& log = local_log();
+  SpanRecord rec;
+  rec.trace_id = trace_of_word(trace_word);
+  rec.span_id = span_id;
+  rec.parent_span = parent_of_word(trace_word);
+  rec.component_id = component.id();
+  rec.start_ns = start_ns;
+  rec.dur_ns = dur_ns;
+  copy_name(rec.component, component.name().c_str());
+  copy_name(rec.event_type, event_type);
+  {
+    std::lock_guard<std::mutex> g(log.mu);
+    log.spans[log.span_next] = rec;
+    if (++log.span_next == kSpanRingCap) {
+      log.span_next = 0;
+      log.span_wrapped = true;
+    }
+  }
+  spans_recorded_.add();
+}
+
+std::vector<SpanRecord> Telemetry::trace_snapshot() const {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    std::lock_guard<std::mutex> g(logs_mu_);
+    logs = logs_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& log : logs) {
+    std::lock_guard<std::mutex> g(log->mu);
+    const std::size_t n = log->span_wrapped ? kSpanRingCap : log->span_next;
+    const std::size_t start = log->span_wrapped ? log->span_next : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(log->spans[(start + i) % kSpanRingCap]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.start_ns < b.start_ns; });
+  return out;
+}
+
+void Telemetry::record_dispatch(const ComponentCore& component, const char* event_type,
+                                bool control, bool faulted, std::uint32_t trace_id,
+                                std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  ThreadLog& log = local_log();
+  DispatchRecord rec;
+  rec.ts_ns = ts_ns;
+  rec.dur_ns = dur_ns;
+  rec.component_id = component.id();
+  rec.trace_id = trace_id;
+  rec.control = control;
+  rec.faulted = faulted;
+  copy_name(rec.component, component.name().c_str());
+  copy_name(rec.event_type, event_type);
+  std::lock_guard<std::mutex> g(log.mu);
+  log.flight[log.flight_next] = rec;
+  if (++log.flight_next == kFlightRingCap) {
+    log.flight_next = 0;
+    log.flight_wrapped = true;
+  }
+}
+
+std::vector<DispatchRecord> Telemetry::flight_snapshot() const {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    std::lock_guard<std::mutex> g(logs_mu_);
+    logs = logs_;
+  }
+  std::vector<DispatchRecord> out;
+  for (const auto& log : logs) {
+    std::lock_guard<std::mutex> g(log->mu);
+    const std::size_t n = log->flight_wrapped ? kFlightRingCap : log->flight_next;
+    const std::size_t start = log->flight_wrapped ? log->flight_next : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(log->flight[(start + i) % kFlightRingCap]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DispatchRecord& a, const DispatchRecord& b) { return a.ts_ns < b.ts_ns; });
+  return out;
+}
+
+std::string Telemetry::capture_crash_dump(const std::string& reason,
+                                          const ComponentCore* source) {
+  const auto records = flight_snapshot();
+  std::string dump = "=== kompics flight recorder: fault";
+  if (source != nullptr) {
+    dump += " in component " + std::to_string(source->id()) + " (" + source->name() + ")";
+  }
+  dump += " ===\nreason: " + reason + "\n";
+  dump += "last " + std::to_string(records.size()) + " dispatch(es), oldest first:\n";
+  const std::uint64_t t_fault = now_ns();
+  char line[256];
+  for (const auto& r : records) {
+    const double age_us =
+        static_cast<double>(t_fault - r.ts_ns) / 1000.0;
+    std::snprintf(line, sizeof(line),
+                  "  -%10.1fus  #%-5" PRIu64 " %-32s %-40s %8" PRIu64 "ns%s%s%s\n",
+                  age_us, r.component_id, r.component, r.event_type, r.dur_ns,
+                  r.control ? " [control]" : "", r.faulted ? " [FAULTED]" : "",
+                  r.trace_id != 0 ? " [traced]" : "");
+    dump += line;
+  }
+  crash_dumps_.add();
+  {
+    std::lock_guard<std::mutex> g(crash_mu_);
+    last_crash_dump_ = dump;
+  }
+  return dump;
+}
+
+std::string Telemetry::last_crash_dump() const {
+  std::lock_guard<std::mutex> g(crash_mu_);
+  return last_crash_dump_;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Prometheus / JSON label escaping (backslash, quote, newline).
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void walk_tree(const ComponentCorePtr& core,
+               const std::function<void(const ComponentCorePtr&)>& fn) {
+  if (core == nullptr) return;
+  fn(core);
+  for (const auto& child : core->children()) walk_tree(child, fn);
+}
+
+struct PortHalfSample {
+  std::string component;
+  std::uint64_t component_id;
+  std::string port;
+  const char* half;
+  std::uint64_t publishes;
+};
+
+}  // namespace
+
+std::string render_prometheus(Runtime& rt) {
+  Telemetry& tel = rt.telemetry();
+  std::string out;
+  out.reserve(8192);
+  char buf[512];
+  auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+
+  // ---- scheduler --------------------------------------------------------
+  out += "# HELP kompics_scheduler_total Scheduler counters (work-stealing pool).\n";
+  out += "# TYPE kompics_scheduler_total counter\n";
+  for (const auto& [name, value] : rt.scheduler().telemetry_counters()) {
+    emit("kompics_scheduler_total{counter=\"%s\"} %" PRIu64 "\n",
+         escape_label(name).c_str(), value);
+  }
+  emit("kompics_pending_work %" PRId64 "\n", rt.pending());
+
+  // ---- global telemetry counters ---------------------------------------
+  emit("kompics_events_published_total %" PRIu64 "\n", tel.events_published().value());
+  emit("kompics_traces_started_total %" PRIu64 "\n", tel.traces_started().value());
+  emit("kompics_spans_recorded_total %" PRIu64 "\n", tel.spans_recorded().value());
+  emit("kompics_crash_dumps_total %" PRIu64 "\n", tel.crash_dumps().value());
+
+  // ---- component tree ---------------------------------------------------
+  std::vector<PortHalfSample> ports;
+  std::uint64_t chan_queued_total = 0, chan_queued_max = 0, chan_count = 0;
+  std::set<const Channel*> seen_channels;
+
+  out += "# HELP kompics_component_dispatches_total Work items executed per component.\n";
+  out += "# TYPE kompics_component_dispatches_total counter\n";
+  out +=
+      "# HELP kompics_handler_latency_ns Per-component handler execution time "
+      "(log2 buckets, nanoseconds).\n";
+  out += "# TYPE kompics_handler_latency_ns histogram\n";
+
+  walk_tree(rt.root().core_ptr(), [&](const ComponentCorePtr& core) {
+    const std::string name = escape_label(core->name());
+    const std::uint64_t id = core->id();
+    emit("kompics_component_queue_length{component=\"%s\",id=\"%" PRIu64 "\"} %" PRId64 "\n",
+         name.c_str(), id, core->work_count());
+    if (const ComponentStats* st = core->telemetry_stats()) {
+      emit("kompics_component_dispatches_total{component=\"%s\",id=\"%" PRIu64 "\"} %" PRIu64
+           "\n",
+           name.c_str(), id, st->dispatches.load(std::memory_order_relaxed));
+      emit("kompics_component_handler_invocations_total{component=\"%s\",id=\"%" PRIu64
+           "\"} %" PRIu64 "\n",
+           name.c_str(), id, st->handler_invocations.load(std::memory_order_relaxed));
+      emit("kompics_component_faults_total{component=\"%s\",id=\"%" PRIu64 "\"} %" PRIu64 "\n",
+           name.c_str(), id, st->faults.load(std::memory_order_relaxed));
+      const auto snap = st->handler_ns.snapshot();
+      std::uint64_t cumulative = 0;
+      for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+        const std::uint64_t c = snap.buckets[static_cast<std::size_t>(b)];
+        if (c == 0) continue;  // sparse exposition: skip empty buckets
+        cumulative += c;
+        emit("kompics_handler_latency_ns_bucket{component=\"%s\",id=\"%" PRIu64
+             "\",le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+             name.c_str(), id, LatencyHistogram::bucket_upper_bound(b), cumulative);
+      }
+      if (snap.count != 0) {
+        emit("kompics_handler_latency_ns_bucket{component=\"%s\",id=\"%" PRIu64
+             "\",le=\"+Inf\"} %" PRIu64 "\n",
+             name.c_str(), id, snap.count);
+        emit("kompics_handler_latency_ns_sum{component=\"%s\",id=\"%" PRIu64 "\"} %" PRIu64 "\n",
+             name.c_str(), id, snap.sum_ns);
+        emit("kompics_handler_latency_ns_count{component=\"%s\",id=\"%" PRIu64 "\"} %" PRIu64
+             "\n",
+             name.c_str(), id, snap.count);
+      }
+    }
+    // Ports: publish counts + channel queue depths (each channel counted
+    // once even though both ends see it).
+    auto sample_half = [&](PortCore* half, const char* which, const std::string& port_name) {
+      if (half == nullptr) return;
+      const std::uint64_t n = half->publish_count();
+      if (n != 0) {
+        ports.push_back(PortHalfSample{core->name(), id, port_name, which, n});
+      }
+      for (const auto& ch : half->channels()) {
+        if (!seen_channels.insert(ch.get()).second) continue;
+        ++chan_count;
+        const std::uint64_t q = ch->queued();
+        chan_queued_total += q;
+        chan_queued_max = std::max(chan_queued_max, q);
+      }
+    };
+    sample_half(core->control_inside(), "inside", "Control");
+    sample_half(core->control_outside(), "outside", "Control");
+    for (const auto& pi : core->declared_ports()) {
+      const std::string port_name = pi.pair->inside->type()->name();
+      sample_half(pi.pair->inside.get(), "inside", port_name);
+      sample_half(pi.pair->outside.get(), "outside", port_name);
+    }
+  });
+
+  out += "# HELP kompics_port_publishes_total trigger() calls per port half.\n";
+  out += "# TYPE kompics_port_publishes_total counter\n";
+  for (const auto& p : ports) {
+    emit("kompics_port_publishes_total{component=\"%s\",id=\"%" PRIu64
+         "\",port=\"%s\",half=\"%s\"} %" PRIu64 "\n",
+         escape_label(p.component).c_str(), p.component_id, escape_label(p.port).c_str(),
+         p.half, p.publishes);
+  }
+  emit("kompics_channels %" PRIu64 "\n", chan_count);
+  emit("kompics_channel_queued_events %" PRIu64 "\n", chan_queued_total);
+  emit("kompics_channel_queued_events_max %" PRIu64 "\n", chan_queued_max);
+  return out;
+}
+
+std::string render_trace_json(Runtime& rt) {
+  Telemetry& tel = rt.telemetry();
+  const auto spans = tel.trace_snapshot();
+  std::string out = "{\n  \"traces_started\": " + std::to_string(tel.traces_started().value()) +
+                    ",\n  \"spans_recorded\": " + std::to_string(tel.spans_recorded().value()) +
+                    ",\n  \"crash_dumps\": " + std::to_string(tel.crash_dumps().value()) +
+                    ",\n  \"spans\": [";
+  char buf[512];
+  bool first = true;
+  for (const auto& s : spans) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"trace\": %u, \"span\": %u, \"parent\": %u, "
+                  "\"component_id\": %" PRIu64
+                  ", \"component\": \"%s\", \"event\": \"%s\", \"start_ns\": %" PRIu64
+                  ", \"dur_ns\": %" PRIu64 "}",
+                  first ? "" : ",", s.trace_id, s.span_id, s.parent_span, s.component_id,
+                  escape_label(s.component).c_str(), escape_label(s.event_type).c_str(),
+                  s.start_ns, s.dur_ns);
+    out += buf;
+    first = false;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> kernel_status_fields(Runtime& rt) {
+  Telemetry& tel = rt.telemetry();
+  std::vector<std::pair<std::string, std::string>> fields;
+  for (const auto& [name, value] : rt.scheduler().telemetry_counters()) {
+    fields.emplace_back("kernel.sched." + name, std::to_string(value));
+  }
+  fields.emplace_back("kernel.events_published",
+                      std::to_string(tel.events_published().value()));
+  fields.emplace_back("kernel.traces_started", std::to_string(tel.traces_started().value()));
+  fields.emplace_back("kernel.spans_recorded", std::to_string(tel.spans_recorded().value()));
+  fields.emplace_back("kernel.crash_dumps", std::to_string(tel.crash_dumps().value()));
+  fields.emplace_back("kernel.pending_work", std::to_string(rt.pending()));
+  return fields;
+}
+
+}  // namespace kompics::telemetry

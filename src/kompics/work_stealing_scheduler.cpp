@@ -99,6 +99,7 @@ void WorkStealingScheduler::schedule_batch(std::vector<ComponentCorePtr>& batch)
   batch.clear();
   work_epoch_.fetch_add(1, std::memory_order_release);
   if (sleepers_.load(std::memory_order_acquire) > 0) {
+    wakes_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> g(sleep_mu_);
     sleep_cv_.notify_all();
   }
@@ -167,6 +168,7 @@ ComponentCorePtr WorkStealingScheduler::try_steal(std::size_t self) {
 
 void WorkStealingScheduler::wake_one() {
   if (sleepers_.load(std::memory_order_acquire) > 0) {
+    wakes_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> g(sleep_mu_);
     sleep_cv_.notify_one();
   }
@@ -222,7 +224,19 @@ WorkStealingScheduler::Stats WorkStealingScheduler::stats() const {
     s.stolen_components += w->stolen.load(std::memory_order_relaxed);
     s.parks += w->parks.load(std::memory_order_relaxed);
   }
+  s.wakes = wakes_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> WorkStealingScheduler::telemetry_counters()
+    const {
+  const Stats s = stats();
+  return {{"executed", s.executed},
+          {"steals", s.steals},
+          {"stolen_components", s.stolen_components},
+          {"parks", s.parks},
+          {"wakes", s.wakes},
+          {"workers", worker_count()}};
 }
 
 }  // namespace kompics

@@ -42,6 +42,7 @@ class WorkStealingScheduler final : public Scheduler {
   void schedule_batch(std::vector<ComponentCorePtr>& batch) override;
   void start() override;
   void shutdown() override;
+  std::vector<std::pair<std::string, std::uint64_t>> telemetry_counters() const override;
 
   std::size_t worker_count() const { return workers_.size(); }
 
@@ -50,6 +51,7 @@ class WorkStealingScheduler final : public Scheduler {
     std::uint64_t steals = 0;
     std::uint64_t stolen_components = 0;
     std::uint64_t parks = 0;
+    std::uint64_t wakes = 0;  ///< condition-variable notifications issued
   };
   Stats stats() const;
 
@@ -86,6 +88,10 @@ class WorkStealingScheduler final : public Scheduler {
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
   std::atomic<int> sleepers_{0};
+  // Notifications are issued by arbitrary producer threads (not workers),
+  // so this one lives outside the per-worker blocks. Only bumped when a
+  // sleeper was actually notified — the no-sleeper fast path stays clean.
+  std::atomic<std::uint64_t> wakes_{0};
   // Bumped by every schedule(); parked workers wait on it changing so a
   // sleeper notified for work pushed to *another* worker's queue wakes up
   // and steals instead of re-sleeping on its own empty queue.

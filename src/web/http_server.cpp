@@ -8,12 +8,15 @@
 #include <chrono>
 #include <cstring>
 
+#include "kompics/telemetry.hpp"
+
 namespace kompics::web {
 
 HttpServer::HttpServer() {
   subscribe<Init>(control(), [this](const Init& init) {
     listen_ = init.listen;
     request_timeout_ms_ = init.request_timeout_ms;
+    telemetry_endpoints_ = init.telemetry_endpoints;
   });
   subscribe<Start>(control(), [this](const Start&) { boot(); });
   subscribe<Stop>(control(), [this](const Stop&) { stop_accepting(); });
@@ -136,6 +139,19 @@ void HttpServer::serve_connection(int fd) {
     }
   }
 
+  // Telemetry endpoints answer directly from the kernel (no Web-port round
+  // trip): the monitoring surface must work even when the application layer
+  // is wedged — that is precisely when it is needed.
+  if (telemetry_endpoints_ && path == "/metrics") {
+    send_direct(fd, 200, "text/plain; version=0.0.4",
+                telemetry::render_prometheus(runtime()));
+    return;
+  }
+  if (telemetry_endpoints_ && path == "/trace") {
+    send_direct(fd, 200, "application/json", telemetry::render_trace_json(runtime()));
+    return;
+  }
+
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   auto pending = std::make_shared<PendingResponse>();
   {
@@ -154,12 +170,16 @@ void HttpServer::serve_connection(int fd) {
     pending_.erase(id);
   }
 
-  std::string head = "HTTP/1.0 " + std::to_string(pending->status) +
-                     (pending->status == 200 ? " OK" : " ERROR") +
-                     "\r\nContent-Type: " + pending->content_type +
-                     "\r\nContent-Length: " + std::to_string(pending->body.size()) +
+  send_direct(fd, pending->status, pending->content_type, pending->body);
+}
+
+void HttpServer::send_direct(int fd, int status, const std::string& content_type,
+                             const std::string& body) {
+  std::string head = "HTTP/1.0 " + std::to_string(status) + (status == 200 ? " OK" : " ERROR") +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
                      "\r\nConnection: close\r\n\r\n";
-  head += pending->body;
+  head += body;
   std::size_t off = 0;
   while (off < head.size()) {
     const ssize_t n = ::send(fd, head.data() + off, head.size() - off, MSG_NOSIGNAL);

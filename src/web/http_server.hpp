@@ -26,10 +26,16 @@ namespace kompics::web {
 class HttpServer : public ComponentDefinition {
  public:
   struct Init : kompics::Init {
-    explicit Init(net::Address listen, DurationMs request_timeout_ms = 2000)
-        : listen(listen), request_timeout_ms(request_timeout_ms) {}
+    explicit Init(net::Address listen, DurationMs request_timeout_ms = 2000,
+                  bool telemetry_endpoints = true)
+        : listen(listen),
+          request_timeout_ms(request_timeout_ms),
+          telemetry_endpoints(telemetry_endpoints) {}
     net::Address listen;
     DurationMs request_timeout_ms;
+    /// Serve /metrics (Prometheus text) and /trace (span JSON) directly
+    /// from kernel telemetry, bypassing the Web port.
+    bool telemetry_endpoints;
   };
 
   HttpServer();
@@ -56,11 +62,14 @@ class HttpServer : public ComponentDefinition {
   void stop_accepting();
   void accept_main();
   void serve_connection(int fd);
+  void send_direct(int fd, int status, const std::string& content_type,
+                   const std::string& body);
 
   Positive<Web> web_ = require<Web>();
 
   net::Address listen_{};
   DurationMs request_timeout_ms_ = 2000;
+  bool telemetry_endpoints_ = true;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;

@@ -317,7 +317,22 @@ TEST(Monitor, ClientAggregatesStatusAndServerBuildsGlobalView) {
   const auto& report = view.begin()->second;
   EXPECT_EQ(report.node.key, 42u);
   EXPECT_EQ(report.fields.count("PingFailureDetector.monitored"), 1u);
-  EXPECT_NE(server.render_text().find("node-2"), std::string::npos);
+
+  // The rendered view reports each node's report age; within the default
+  // 2000 ms staleness window nothing is flagged.
+  const std::string fresh = server.render_text();
+  EXPECT_NE(fresh.find("node-2"), std::string::npos);
+  EXPECT_NE(fresh.find(" age="), std::string::npos) << fresh;
+  EXPECT_EQ(fresh.find("STALE"), std::string::npos) << fresh;
+
+  // Re-arm the server with a zero staleness window: any nonzero age (the
+  // last report landed ~100 ms ago mid-round) now flags the node STALE.
+  main.definition_as<World>()
+      .server.definition_as<Machine<MonitorServer>>()
+      .proto.control()
+      ->trigger(make_event<MonitorServer::Init>(Address::node(1), /*stale_after_ms=*/0));
+  simulation.run_until(2050);
+  EXPECT_NE(server.render_text().find("STALE"), std::string::npos);
 }
 
 }  // namespace

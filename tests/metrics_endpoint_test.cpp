@@ -1,0 +1,131 @@
+// /metrics and /trace endpoint tests: the HttpServer answers both directly
+// from kernel telemetry (no Web-port round trip), so the monitoring surface
+// works even when the application layer never responds.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "kompics/kompics.hpp"
+#include "kompics/telemetry.hpp"
+#include "web/http_server.hpp"
+
+namespace kompics::web::test {
+namespace {
+
+/// Minimal blocking HTTP client (same shape as web_test.cpp's).
+std::string http_get(std::uint32_t host, std::uint16_t port, const std::string& path) {
+  int fd = -1;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(host);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) break;
+    ::close(fd);
+    fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (fd < 0) return "";
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: test\r\n\r\n";
+  (void)!::send(fd, req.data(), req.size(), MSG_NOSIGNAL);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return out;
+}
+
+/// A deliberately wedged Web application: never answers WebRequest. The
+/// telemetry endpoints must still respond — that is the whole point of
+/// serving them from the kernel.
+class WedgedApp : public ComponentDefinition {
+ public:
+  WedgedApp() {
+    subscribe<WebRequest>(web_, [](const WebRequest&) { /* drop it */ });
+  }
+  Negative<Web> web_ = provide<Web>();
+};
+
+class ScrapeMain : public ComponentDefinition {
+ public:
+  explicit ScrapeMain(net::Address listen, bool telemetry_endpoints = true) {
+    server = create<HttpServer>();
+    server.control()->trigger(make_event<HttpServer::Init>(listen, /*request_timeout_ms=*/200,
+                                                           telemetry_endpoints));
+    app = create<WedgedApp>();
+    connect(app.provided<Web>(), server.required<Web>());
+  }
+  Component server, app;
+};
+
+class ScrapeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rt = Runtime::threaded(Config{}, 2, 1);
+    rt->telemetry().enable_all(/*sample=*/1.0);
+    main = rt->bootstrap<ScrapeMain>(net::Address::loopback(0));
+    rt->await_quiescence();
+    port = main.definition_as<ScrapeMain>().server.definition_as<HttpServer>().port();
+    ASSERT_NE(port, 0);
+  }
+
+  std::shared_ptr<Runtime> rt;
+  Component main;
+  std::uint16_t port = 0;
+};
+
+TEST_F(ScrapeFixture, MetricsEndpointServesPrometheusText) {
+  const std::string resp = http_get(0x7f000001, port, "/metrics");
+  ASSERT_NE(resp.find("200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(resp.find("kompics_scheduler_total{counter=\"executed\"}"), std::string::npos);
+  EXPECT_NE(resp.find("kompics_component_dispatches_total{"), std::string::npos);
+  EXPECT_NE(resp.find("kompics_handler_latency_ns_bucket{"), std::string::npos);
+  EXPECT_NE(resp.find("kompics_events_published_total"), std::string::npos);
+}
+
+TEST_F(ScrapeFixture, TraceEndpointServesSpanJson) {
+  // Bootstrap itself generates traced control dispatches at sampling 1.0;
+  // scrape twice so the first scrape's own activity is surely visible.
+  http_get(0x7f000001, port, "/metrics");
+  const std::string resp = http_get(0x7f000001, port, "/trace");
+  ASSERT_NE(resp.find("200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(resp.find("\"spans\": ["), std::string::npos);
+  EXPECT_NE(resp.find("\"traces_started\": "), std::string::npos);
+}
+
+TEST_F(ScrapeFixture, TelemetryEndpointsBypassWedgedApp) {
+  // A normal request hits the wedged app and times out with 504 …
+  const std::string app_resp = http_get(0x7f000001, port, "/anything");
+  EXPECT_NE(app_resp.find("504"), std::string::npos) << app_resp;
+  // … but /metrics still answers instantly from the kernel.
+  const std::string metrics = http_get(0x7f000001, port, "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+}
+
+TEST(MetricsEndpoint, CanBeDisabledViaInit) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  // With telemetry endpoints off, /metrics falls through to the (wedged)
+  // app and times out instead of answering from the kernel.
+  auto main = rt->bootstrap<ScrapeMain>(net::Address::loopback(0), /*telemetry_endpoints=*/false);
+  rt->await_quiescence();
+  auto& server = main.definition_as<ScrapeMain>().server.definition_as<HttpServer>();
+  const std::string resp = http_get(0x7f000001, server.port(), "/metrics");
+  EXPECT_EQ(resp.find("kompics_scheduler_total"), std::string::npos);
+  EXPECT_NE(resp.find("504"), std::string::npos) << resp;
+}
+
+}  // namespace
+}  // namespace kompics::web::test

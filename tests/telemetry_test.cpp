@@ -1,0 +1,341 @@
+// Kernel telemetry tests: histogram bucket boundaries, sharded counters,
+// causal trace propagation across a request→indication round trip, the
+// flight recorder's §2.5 crash dump on an injected handler fault, and the
+// Prometheus/JSON render surface.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "kompics/kompics.hpp"
+#include "kompics/telemetry.hpp"
+
+namespace kompics::test {
+namespace {
+
+using telemetry::LatencyHistogram;
+using telemetry::ShardedCounter;
+
+// ---- histogram -----------------------------------------------------------
+
+TEST(LatencyHistogram, BucketBoundariesAreLog2) {
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 1);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 1);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_of(7), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_of(8), 3);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1ULL << 20), 20);
+  // Everything past the last bucket boundary clamps into the last bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_of(~0ULL), LatencyHistogram::kBuckets - 1);
+
+  // Bucket b holds [2^b, 2^(b+1)): its inclusive upper bound is 2^(b+1)-1.
+  EXPECT_EQ(LatencyHistogram::bucket_upper_bound(0), 1ULL);
+  EXPECT_EQ(LatencyHistogram::bucket_upper_bound(1), 3ULL);
+  EXPECT_EQ(LatencyHistogram::bucket_upper_bound(2), 7ULL);
+  EXPECT_EQ(LatencyHistogram::bucket_upper_bound(10), 2047ULL);
+  EXPECT_EQ(LatencyHistogram::bucket_upper_bound(LatencyHistogram::kBuckets - 1), ~0ULL);
+}
+
+TEST(LatencyHistogram, RecordsAndQuantiles) {
+  LatencyHistogram h;
+  h.record(0);
+  h.record(1);    // bucket 0
+  h.record(5);    // bucket 2
+  h.record(100);  // bucket 6 ([64,128))
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum_ns, 106u);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[6], 1u);
+  EXPECT_EQ(s.quantile_upper_ns(0.5), 1ULL);    // 2 of 4 within bucket 0
+  EXPECT_EQ(s.quantile_upper_ns(0.75), 7ULL);   // 3 of 4 within bucket 2
+  EXPECT_EQ(s.quantile_upper_ns(1.0), 127ULL);  // all within bucket 6
+  EXPECT_EQ(LatencyHistogram().snapshot().quantile_upper_ns(0.99), 0ULL);
+}
+
+TEST(ShardedCounter, SumsConcurrentWriters) {
+  ShardedCounter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), 80000u);
+}
+
+TEST(TraceWord, PacksAndUnpacks) {
+  const std::uint64_t w = telemetry::pack_trace_word(0xABCD1234u, 0x77u);
+  EXPECT_EQ(telemetry::trace_of_word(w), 0xABCD1234u);
+  EXPECT_EQ(telemetry::parent_of_word(w), 0x77u);
+}
+
+// ---- fixture components --------------------------------------------------
+
+class Ping : public Event {
+  KOMPICS_EVENT(Ping, Event);
+
+ public:
+  explicit Ping(int n) : n(n) {}
+  int n;
+};
+
+class Pong : public Event {
+  KOMPICS_EVENT(Pong, Event);
+
+ public:
+  explicit Pong(int n) : n(n) {}
+  int n;
+};
+
+class PingPort : public PortType {
+ public:
+  PingPort() {
+    set_name("PingPort");
+    negative<Ping>();  // request
+    positive<Pong>();  // indication
+  }
+};
+
+/// Provider: answers every Ping with a Pong (request→indication round trip).
+class Responder : public ComponentDefinition {
+ public:
+  Responder() {
+    subscribe<Ping>(port_, [this](const Ping& p) { trigger(make_event<Pong>(p.n), port_); });
+  }
+  Negative<PingPort> port_ = provide<PingPort>();
+};
+
+/// Requester: records the trace word riding the Pong it gets back.
+class Requester : public ComponentDefinition {
+ public:
+  Requester() {
+    subscribe<Pong>(port_, [this](const Pong&) {
+      pong_trace_word.store(current_event()->kompics_trace_word(), std::memory_order_release);
+      ++pongs;
+    });
+  }
+  void ping(int n) { trigger(make_event<Ping>(n), port_); }
+  Positive<PingPort> port_ = require<PingPort>();
+  std::atomic<std::uint64_t> pong_trace_word{0};
+  int pongs = 0;
+};
+
+class PingMain : public ComponentDefinition {
+ public:
+  PingMain() {
+    responder = create<Responder>();
+    requester = create<Requester>();
+    connect(responder.provided<PingPort>(), requester.required<PingPort>());
+  }
+  Component responder, requester;
+};
+
+/// A handler that always throws — the §2.5 fault-injection fixture.
+class Bomb : public ComponentDefinition {
+ public:
+  Bomb() {
+    subscribe<Ping>(port_, [](const Ping&) { throw std::runtime_error("injected boom"); });
+  }
+  Negative<PingPort> port_ = provide<PingPort>();
+};
+
+class BombMain : public ComponentDefinition {
+ public:
+  BombMain() { bomb = create<Bomb>(); }
+  Component bomb;
+};
+
+// ---- tracing -------------------------------------------------------------
+
+TEST(Tracing, PropagatesAcrossRequestIndicationRoundTrip) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  rt->telemetry().set_trace_sampling(1.0);
+  auto main = rt->bootstrap<PingMain>();
+  rt->await_quiescence();
+  auto& req = main.definition_as<PingMain>().requester.definition_as<Requester>();
+
+  req.ping(7);
+  rt->await_quiescence();
+  ASSERT_EQ(req.pongs, 1);
+
+  // The Pong was created inside the Responder's Ping handler, so it must
+  // carry the same trace id as the Ping — with the Responder's span as its
+  // causal parent, not a fresh root.
+  const std::uint64_t pong_word = req.pong_trace_word.load(std::memory_order_acquire);
+  ASSERT_NE(pong_word, 0u);
+  const std::uint32_t trace = telemetry::trace_of_word(pong_word);
+  const std::uint32_t pong_parent = telemetry::parent_of_word(pong_word);
+  EXPECT_NE(trace, 0u);
+  EXPECT_NE(pong_parent, 0u);
+
+  // The span buffer reconstructs the chain: a Ping span on the Responder
+  // whose id is the Pong's parent, and a Pong span on the Requester.
+  const auto spans = rt->telemetry().trace_snapshot();
+  bool saw_ping_span = false, saw_pong_span = false;
+  for (const auto& s : spans) {
+    if (s.trace_id != trace) continue;
+    if (s.span_id == pong_parent) saw_ping_span = true;
+    if (s.parent_span == pong_parent) saw_pong_span = true;
+  }
+  EXPECT_TRUE(saw_ping_span);
+  EXPECT_TRUE(saw_pong_span);
+  EXPECT_GE(rt->telemetry().traces_started().value(), 1u);
+}
+
+TEST(Tracing, DisabledLeavesEventsUnstamped) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);  // all telemetry off
+  auto main = rt->bootstrap<PingMain>();
+  rt->await_quiescence();
+  auto& req = main.definition_as<PingMain>().requester.definition_as<Requester>();
+  req.ping(1);
+  rt->await_quiescence();
+  ASSERT_EQ(req.pongs, 1);
+  EXPECT_EQ(req.pong_trace_word.load(), 0u);
+  EXPECT_TRUE(rt->telemetry().trace_snapshot().empty());
+  EXPECT_EQ(rt->telemetry().traces_started().value(), 0u);
+}
+
+// ---- metrics -------------------------------------------------------------
+
+TEST(Metrics, PerComponentStatsAreLazyAndCounted) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  auto main = rt->bootstrap<PingMain>();
+  rt->await_quiescence();
+  auto& req_comp = main.definition_as<PingMain>().requester;
+  // Metrics were off during bootstrap: no stats block was allocated.
+  EXPECT_EQ(req_comp.core()->telemetry_stats(), nullptr);
+
+  rt->telemetry().enable_metrics(true);
+  auto& req = req_comp.definition_as<Requester>();
+  for (int i = 0; i < 10; ++i) req.ping(i);
+  rt->await_quiescence();
+  ASSERT_EQ(req.pongs, 10);
+
+  const telemetry::ComponentStats* st = req_comp.core()->telemetry_stats();
+  ASSERT_NE(st, nullptr);
+  EXPECT_GE(st->dispatches.load(), 10u);
+  EXPECT_GE(st->handler_invocations.load(), 10u);
+  EXPECT_EQ(st->handler_ns.snapshot().count, st->dispatches.load());
+  EXPECT_GE(rt->telemetry().events_published().value(), 20u);  // pings + pongs
+}
+
+TEST(Metrics, ConfigKeysEnableGatesAtConstruction) {
+  Config cfg;
+  cfg.set("telemetry.metrics", true);
+  cfg.set("telemetry.trace_sampling", 0.5);
+  cfg.set("telemetry.flight_recorder", true);
+  auto rt = Runtime::threaded(std::move(cfg), 1, 1);
+  EXPECT_TRUE(rt->telemetry().metrics_enabled());
+  EXPECT_TRUE(rt->telemetry().tracing_enabled());
+  EXPECT_TRUE(rt->telemetry().recorder_enabled());
+  auto off = Runtime::threaded(Config{}, 1, 1);
+  EXPECT_FALSE(off->telemetry().metrics_enabled());
+  EXPECT_FALSE(off->telemetry().tracing_enabled());
+  EXPECT_FALSE(off->telemetry().recorder_enabled());
+}
+
+TEST(Metrics, PrometheusRenderCarriesKernelMetrics) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  rt->telemetry().enable_metrics(true);
+  auto main = rt->bootstrap<PingMain>();
+  rt->await_quiescence();
+  auto& req = main.definition_as<PingMain>().requester.definition_as<Requester>();
+  for (int i = 0; i < 5; ++i) req.ping(i);
+  rt->await_quiescence();
+
+  const std::string text = telemetry::render_prometheus(*rt);
+  EXPECT_NE(text.find("kompics_scheduler_total{counter=\"executed\"}"), std::string::npos);
+  EXPECT_NE(text.find("kompics_scheduler_total{counter=\"wakes\"}"), std::string::npos);
+  EXPECT_NE(text.find("kompics_component_dispatches_total{"), std::string::npos);
+  EXPECT_NE(text.find("kompics_handler_latency_ns_bucket{"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("kompics_port_publishes_total{"), std::string::npos);
+  EXPECT_NE(text.find("port=\"PingPort\""), std::string::npos);
+  EXPECT_NE(text.find("kompics_events_published_total"), std::string::npos);
+
+  const auto fields = telemetry::kernel_status_fields(*rt);
+  bool has_executed = false, has_published = false;
+  for (const auto& [k, v] : fields) {
+    if (k == "kernel.sched.executed") has_executed = true;
+    if (k == "kernel.events_published") has_published = true;
+  }
+  EXPECT_TRUE(has_executed);
+  EXPECT_TRUE(has_published);
+}
+
+// ---- flight recorder -----------------------------------------------------
+
+TEST(FlightRecorder, FaultEscalationCapturesDispatchHistory) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  rt->telemetry().enable_flight_recorder(true);
+  std::atomic<int> faults_seen{0};
+  rt->set_fault_policy([&faults_seen](const Fault&) { ++faults_seen; });
+  auto main = rt->bootstrap<BombMain>();
+  rt->await_quiescence();
+
+  auto bomb_port = main.definition_as<BombMain>().bomb.provided<PingPort>();
+  bomb_port.core->trigger(make_event<Ping>(42));
+  rt->await_quiescence();
+  for (int i = 0; i < 100 && faults_seen.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(faults_seen.load(), 1);
+
+  const std::string dump = rt->telemetry().last_crash_dump();
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("injected boom"), std::string::npos);
+  EXPECT_NE(dump.find("[FAULTED]"), std::string::npos);
+  EXPECT_NE(dump.find("Ping"), std::string::npos);  // event type of the fatal dispatch
+  EXPECT_EQ(rt->telemetry().crash_dumps().value(), 1u);
+
+  // The raw ring contains the faulted record too, newest last.
+  const auto records = rt->telemetry().flight_snapshot();
+  ASSERT_FALSE(records.empty());
+  bool any_faulted = false;
+  for (const auto& r : records) any_faulted |= r.faulted;
+  EXPECT_TRUE(any_faulted);
+}
+
+TEST(FlightRecorder, DisabledRecordsNothing) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  std::atomic<int> faults_seen{0};
+  rt->set_fault_policy([&faults_seen](const Fault&) { ++faults_seen; });
+  auto main = rt->bootstrap<BombMain>();
+  rt->await_quiescence();
+  main.definition_as<BombMain>().bomb.provided<PingPort>().core->trigger(make_event<Ping>(1));
+  rt->await_quiescence();
+  for (int i = 0; i < 100 && faults_seen.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(faults_seen.load(), 1);
+  EXPECT_TRUE(rt->telemetry().last_crash_dump().empty());
+  EXPECT_TRUE(rt->telemetry().flight_snapshot().empty());
+}
+
+// ---- trace JSON ----------------------------------------------------------
+
+TEST(Tracing, JsonRenderListsSpans) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  rt->telemetry().set_trace_sampling(1.0);
+  auto main = rt->bootstrap<PingMain>();
+  rt->await_quiescence();
+  main.definition_as<PingMain>().requester.definition_as<Requester>().ping(3);
+  rt->await_quiescence();
+
+  const std::string json = telemetry::render_trace_json(*rt);
+  EXPECT_NE(json.find("\"spans\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"trace\": "), std::string::npos);
+  EXPECT_NE(json.find("\"parent\": "), std::string::npos);
+  EXPECT_NE(json.find("Pong"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kompics::test
