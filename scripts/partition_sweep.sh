@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Consistent-quorum partition sweep driver.
+#
+# One command to run the partial-partition regression tests plus the 50-seed
+# scripted-schedule sweep (cats_quorum_sweep_test) whose every history is
+# checked with the Wing & Gong linearizability checker. The seed list is
+# fixed (1..50, baked into the test's INSTANTIATE_TEST_SUITE_P) so a run is
+# reproducible bit-for-bit; pick individual seeds with --seed.
+#
+# Usage:
+#   scripts/partition_sweep.sh [BUILD_DIR] [--seed N]...
+#
+#   BUILD_DIR   build tree containing tests/ binaries     (default: build)
+#   --seed N    run only seed N of the sweep (repeatable); without it the
+#               whole `partition` ctest label runs: both CatsPartition
+#               regression tests and all 50 sweep seeds.
+#
+# Typical runs:
+#   scripts/partition_sweep.sh                   # default tree, full sweep
+#   scripts/partition_sweep.sh build-tsan        # same sweep under TSan
+#   scripts/partition_sweep.sh build --seed 7 --seed 23   # two schedules
+
+set -euo pipefail
+
+BUILD_DIR="build"
+SEEDS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --seed)
+      [[ $# -ge 2 ]] || { echo "error: --seed needs a value" >&2; exit 2; }
+      SEEDS+=("$2")
+      shift 2
+      ;;
+    -h|--help)
+      sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      BUILD_DIR="$1"
+      shift
+      ;;
+  esac
+done
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "error: build tree '$BUILD_DIR' not found (configure and build first:" >&2
+  echo "  cmake --preset default && cmake --build --preset default)" >&2
+  exit 1
+fi
+
+if [[ ${#SEEDS[@]} -gt 0 ]]; then
+  SWEEP_BIN="$BUILD_DIR/tests/cats_quorum_sweep_test"
+  if [[ ! -x "$SWEEP_BIN" ]]; then
+    echo "error: $SWEEP_BIN not found (build the '$BUILD_DIR' tree first)" >&2
+    exit 1
+  fi
+  FILTER=""
+  for s in "${SEEDS[@]}"; do
+    if [[ ! "$s" =~ ^[0-9]+$ ]] || (( s < 1 || s > 50 )); then
+      echo "error: seed must be 1..50, got '$s'" >&2
+      exit 2
+    fi
+    # gtest names parameterized cases by index; Range(1, 51) puts seed N at
+    # index N-1.
+    FILTER+="${FILTER:+:}Seeds/QuorumSweep.ScheduleIsLinearizable/$((s - 1))"
+  done
+  exec "$SWEEP_BIN" --gtest_filter="$FILTER"
+fi
+
+echo "[partition_sweep] running the 'partition' ctest label in $BUILD_DIR" >&2
+exec ctest --test-dir "$BUILD_DIR" -L partition --output-on-failure "$@"

@@ -12,11 +12,23 @@
 //             the maximum back onto a majority before responding (the ABD
 //             write-back, which is what makes concurrent reads linearizable).
 //
-// Replicas are passive: they answer reads with their stored (tag, value)
-// and apply writes only when the incoming tag is newer. Operations time out
-// and retry with a fresh group lookup (bounded), then fail — CATS targets
-// "partially synchronous, lossy, partitionable and dynamic networks" (§4).
+// Consistent quorums (CATS tech report [11]): every replica group is a
+// versioned view over a key range. Phase messages carry the view version
+// the coordinator looked the group up under; replicas acknowledge only if
+// the version matches their installed, unfenced view and they are members.
+// View changes run as a single-decree consensus per (range, version) over
+// the OLD view's members, and promising a proposal fences the old view —
+// so by the time a new view activates, the old one can no longer assemble
+// an ABD quorum, and a partial partition cannot commit divergent writes.
+//
+// Replicas are otherwise passive: they answer reads with their stored
+// (tag, value) and apply writes only when the incoming tag is newer.
+// Operations time out and retry with a fresh group lookup (bounded), then
+// fail — CATS targets "partially synchronous, lossy, partitionable and
+// dynamic networks" (§4).
 
+#include <map>
+#include <optional>
 #include <unordered_map>
 
 #include "cats/messages.hpp"
@@ -48,9 +60,25 @@ class ConsistentABD : public ComponentDefinition {
     std::uint64_t failed_in_lookup = 0;
     std::uint64_t failed_in_read = 0;
     std::uint64_t failed_in_write = 0;
+    // Consistent-quorum views.
+    std::uint64_t views_installed = 0;       ///< views (re)installed locally
+    std::uint64_t view_fences = 0;           ///< ranges fenced by a promise
+    std::uint64_t view_fetches = 0;          ///< catch-up pulls sent
+    std::uint64_t reconfigs_proposed = 0;    ///< prepare rounds started
+    std::uint64_t reconfigs_decided = 0;     ///< proposals that reached accept quorum
+    std::uint64_t stale_view_nacks = 0;      ///< replica: phase msgs rejected
+    std::uint64_t fast_retries = 0;          ///< coordinator: nack-driven retries
+    // Coordinator-side divergence guard: acks whose view version did not
+    // match the operation's view. Replicas echo the phase version, so this
+    // MUST stay 0 — the partition tests assert it (no op may count an ack,
+    // let alone commit, under a stale view).
+    std::uint64_t stale_view_acks_dropped = 0;
   };
   const Counters& counters() const { return counters_; }
   std::size_t store_size() const { return store_.size(); }
+  std::size_t ranges_held() const { return ranges_.size(); }
+  /// Installed view covering `key`, if any (tests / introspection).
+  std::optional<GroupView> view_covering(RingKey key) const;
 
  private:
   struct Replica {
@@ -69,8 +97,12 @@ class ConsistentABD : public ComponentDefinition {
     RingKey key = 0;
     Value put_value;
     std::vector<NodeRef> group;
+    std::uint64_t view = 0;  ///< view version the group was resolved under
     std::size_t quorum = 0;
-    std::size_t acks = 0;
+    // Ack/nack sources for the current phase of the current attempt:
+    // duplicated deliveries must not double-count toward the quorum.
+    std::vector<Address> acked;
+    std::vector<Address> nacked;
     VersionTag max_tag{};
     bool max_exists = false;
     Value max_value;
@@ -86,8 +118,52 @@ class ConsistentABD : public ComponentDefinition {
   };
 
   struct OpTimeout : timing::Timeout {
-    OpTimeout(timing::TimeoutId id, OpId op) : Timeout(id), op(op) {}
+    OpTimeout(timing::TimeoutId id, OpId op, std::uint8_t attempt)
+        : Timeout(id), op(op), attempt(attempt) {}
     OpId op;
+    std::uint8_t attempt;
+  };
+
+  struct ReconfigTick : timing::Timeout {
+    using Timeout::Timeout;
+  };
+
+  // ---- consistent-quorum view state ------------------------------------
+
+  /// A range this node holds (as member or catch-up copy). Fenced ranges no
+  /// longer acknowledge ABD phase messages: a majority of fenced members is
+  /// what de-activates an old view.
+  struct RangeState {
+    GroupView view;
+    bool fenced = false;
+    TimeMs fenced_at = 0;  ///< when the fence dropped (recovery re-proposal timer)
+  };
+
+  /// Single-decree acceptor slot for one (range_hi, target version).
+  struct Slot {
+    Ballot promised{};
+    bool has_accepted = false;
+    Ballot accepted_ballot{};
+    std::vector<GroupView> accepted_children;
+  };
+
+  /// Proposer state for reconfiguring the range with hi == key of map.
+  struct Reconfig {
+    enum class Stage { kPrepare, kAccept, kInstall };
+    Stage stage = Stage::kPrepare;
+    std::uint64_t target = 0;
+    Ballot ballot{};
+    GroupView parent;                  // old view (acceptors = parent.members)
+    std::vector<GroupView> proposed;   // what we want
+    std::vector<GroupView> children;   // what got decided (after adoption)
+    std::vector<Address> promises;
+    std::vector<Address> accepts;
+    bool adopted = false;
+    Ballot max_accepted{};
+    std::uint64_t highest_rejection = 0;  ///< highest promised.round seen in nacks
+    std::map<RingKey, Replica> merged_state;  // max-tag merge of promise dumps
+    std::map<RingKey, std::vector<Address>> install_acks;  // child hi -> ackers
+    TimeMs last_driven = 0;  ///< pace retransmits/ballot bumps to the tick period
   };
 
   // Wire op ids embed the retry attempt so acknowledgements from a
@@ -103,10 +179,32 @@ class ConsistentABD : public ComponentDefinition {
   void finish_op(OpId internal, Op& op, bool ok);
   void retry_or_fail(OpId internal);
   OpId fresh_id() { return next_op_++; }
+  /// Dedup-insert `a` into `v`; true if newly inserted.
+  static bool note_address(std::vector<Address>& v, const Address& a);
+
+  // ---- view manager ----------------------------------------------------
+
+  bool ring_responsible_for(RingKey key) const;
+  const RangeState* covering_range(RingKey key) const;
+  std::vector<KeyState> dump_range(RingKey lo, RingKey hi) const;
+  std::vector<NodeRef> group_headed_by(const NodeRef& head) const;
+  static bool same_member_set(const std::vector<NodeRef>& a, const std::vector<NodeRef>& b);
+  std::uint64_t next_ballot_round(const Reconfig* prev) const;
+  void install_view(const GroupView& view, const std::vector<KeyState>& state);
+  void evaluate_reconfigurations();
+  void drive_reconfig(Reconfig& rec);
+  void send_installs(Reconfig& rec);
+  /// Who must ack a child's install: the child's members plus the parent's —
+  /// evicted members learn the view that superseded (and unfences) theirs.
+  std::vector<NodeRef> install_recipients(const Reconfig& rec, const GroupView& child) const;
+  void merge_promise_state(Reconfig& rec, const std::vector<KeyState>& state);
+  void replica_nack(const Address& to, OpId op, RingKey key);
 
   Negative<PutGet> putget_ = provide<PutGet>();
   Negative<Status> status_ = provide<Status>();
+  Negative<QuorumViews> views_ = provide<QuorumViews>();
   Positive<Router> router_ = require<Router>();
+  Positive<Ring> ring_ = require<Ring>();
   Positive<net::Network> network_ = require<net::Network>();
   Positive<timing::Timer> timer_ = require<timing::Timer>();
 
@@ -116,6 +214,19 @@ class ConsistentABD : public ComponentDefinition {
   std::unordered_map<OpId, Op> ops_;  // keyed by internal op id
   OpId next_op_ = 1;
   Counters counters_;
+
+  // Cached ring neighborhood (drives reconfiguration proposals).
+  bool ring_view_received_ = false;
+  bool sole_member_ = false;
+  bool has_pred_ = false;
+  NodeRef pred_{};
+  std::vector<NodeRef> succs_;
+  std::uint64_t ring_epoch_ = 0;
+  std::uint64_t fetch_attempts_ = 0;
+
+  std::map<RingKey, RangeState> ranges_;                      // keyed by view.hi
+  std::map<std::pair<RingKey, std::uint64_t>, Slot> slots_;   // (hi, target)
+  std::map<RingKey, Reconfig> reconfigs_;                     // keyed by parent.hi
 };
 
 }  // namespace kompics::cats

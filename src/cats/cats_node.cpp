@@ -36,8 +36,13 @@ CatsNode::CatsNode(NodeRef self, Address bootstrap_server, Address monitor_serve
   connect(cyclon.provided<NodeSampling>(), router.required<NodeSampling>());
   connect(cyclon.provided<NodeSampling>(), ring.required<NodeSampling>());
   connect(ring.provided<Ring>(), router.required<Ring>());
+  connect(ring.provided<Ring>(), abd.required<Ring>());
   connect(router.provided<Router>(), ring.required<Router>());
   connect(router.provided<Router>(), abd.required<Router>());
+  // The ABD's view manager feeds installed quorum views back to the router,
+  // which answers lookups with (members, view version) for consistent-quorum
+  // phases.
+  connect(abd.provided<QuorumViews>(), router.required<QuorumViews>());
 
   // Expose ABD's PutGet as the node's own PutGet (composite pass-through).
   connect(abd.provided<PutGet>(), putget_);

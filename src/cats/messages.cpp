@@ -25,6 +25,60 @@ VersionTag read_tag(BufferReader& r) {
   return t;
 }
 
+void write_ballot(BufferWriter& w, const Ballot& b) {
+  w.var_u64(b.round);
+  w.u64(b.proposer);
+}
+Ballot read_ballot(BufferReader& r) {
+  Ballot b;
+  b.round = r.var_u64();
+  b.proposer = r.u64();
+  return b;
+}
+
+void write_group_view(BufferWriter& w, const GroupView& v) {
+  w.u64(v.lo);
+  w.u64(v.hi);
+  w.var_u64(v.version);
+  write_node_refs(w, v.members);
+}
+GroupView read_group_view(BufferReader& r) {
+  GroupView v;
+  v.lo = r.u64();
+  v.hi = r.u64();
+  v.version = r.var_u64();
+  v.members = read_node_refs(r);
+  return v;
+}
+
+void write_group_views(BufferWriter& w, const std::vector<GroupView>& vs) {
+  w.var_u64(vs.size());
+  for (const auto& v : vs) write_group_view(w, v);
+}
+std::vector<GroupView> read_group_views(BufferReader& r) {
+  std::vector<GroupView> vs(r.var_u64());
+  for (auto& v : vs) v = read_group_view(r);
+  return vs;
+}
+
+void write_key_states(BufferWriter& w, const std::vector<KeyState>& ks) {
+  w.var_u64(ks.size());
+  for (const auto& k : ks) {
+    w.u64(k.key);
+    write_tag(w, k.tag);
+    write_value(w, k.value);
+  }
+}
+std::vector<KeyState> read_key_states(BufferReader& r) {
+  std::vector<KeyState> ks(r.var_u64());
+  for (auto& k : ks) {
+    k.key = r.u64();
+    k.tag = read_tag(r);
+    k.value = read_value(r);
+  }
+  return ks;
+}
+
 void write_entries(BufferWriter& w, const std::vector<CyclonEntry>& es) {
   w.var_u64(es.size());
   for (const auto& e : es) {
@@ -146,10 +200,12 @@ void do_register() {
         const auto& msg = static_cast<const AbdReadMsg&>(m);
         w.var_u64(msg.op);
         w.u64(msg.key);
+        w.var_u64(msg.view);
       },
       [](BufferReader& r, Address s, Address d) -> MessagePtr {
         const OpId op = r.var_u64();
-        return std::make_shared<const AbdReadMsg>(s, d, op, r.u64());
+        const RingKey key = r.u64();
+        return std::make_shared<const AbdReadMsg>(s, d, op, key, r.var_u64());
       });
 
   reg.register_message<AbdReadAckMsg>(
@@ -158,6 +214,7 @@ void do_register() {
         const auto& msg = static_cast<const AbdReadAckMsg&>(m);
         w.var_u64(msg.op);
         w.u64(msg.key);
+        w.var_u64(msg.view);
         write_tag(w, msg.tag);
         w.boolean(msg.exists);
         write_value(w, msg.value);
@@ -165,9 +222,11 @@ void do_register() {
       [](BufferReader& r, Address s, Address d) -> MessagePtr {
         const OpId op = r.var_u64();
         const RingKey key = r.u64();
+        const std::uint64_t view = r.var_u64();
         const VersionTag tag = read_tag(r);
         const bool exists = r.boolean();
-        return std::make_shared<const AbdReadAckMsg>(s, d, op, key, tag, exists, read_value(r));
+        return std::make_shared<const AbdReadAckMsg>(s, d, op, key, view, tag, exists,
+                                                     read_value(r));
       });
 
   reg.register_message<AbdWriteMsg>(
@@ -176,6 +235,7 @@ void do_register() {
         const auto& msg = static_cast<const AbdWriteMsg&>(m);
         w.var_u64(msg.op);
         w.u64(msg.key);
+        w.var_u64(msg.view);
         write_tag(w, msg.tag);
         w.boolean(msg.exists);
         write_value(w, msg.value);
@@ -183,9 +243,11 @@ void do_register() {
       [](BufferReader& r, Address s, Address d) -> MessagePtr {
         const OpId op = r.var_u64();
         const RingKey key = r.u64();
+        const std::uint64_t view = r.var_u64();
         const VersionTag tag = read_tag(r);
         const bool exists = r.boolean();
-        return std::make_shared<const AbdWriteMsg>(s, d, op, key, tag, exists, read_value(r));
+        return std::make_shared<const AbdWriteMsg>(s, d, op, key, view, tag, exists,
+                                                   read_value(r));
       });
 
   reg.register_message<AbdWriteAckMsg>(
@@ -194,10 +256,149 @@ void do_register() {
         const auto& msg = static_cast<const AbdWriteAckMsg&>(m);
         w.var_u64(msg.op);
         w.u64(msg.key);
+        w.var_u64(msg.view);
       },
       [](BufferReader& r, Address s, Address d) -> MessagePtr {
         const OpId op = r.var_u64();
-        return std::make_shared<const AbdWriteAckMsg>(s, d, op, r.u64());
+        const RingKey key = r.u64();
+        return std::make_shared<const AbdWriteAckMsg>(s, d, op, key, r.var_u64());
+      });
+
+  reg.register_message<AbdNackMsg>(
+      114,
+      [](const Message& m, BufferWriter& w) {
+        const auto& msg = static_cast<const AbdNackMsg&>(m);
+        w.var_u64(msg.op);
+        w.u64(msg.key);
+        w.var_u64(msg.current_version);
+      },
+      [](BufferReader& r, Address s, Address d) -> MessagePtr {
+        const OpId op = r.var_u64();
+        const RingKey key = r.u64();
+        return std::make_shared<const AbdNackMsg>(s, d, op, key, r.var_u64());
+      });
+
+  reg.register_message<ViewPrepareMsg>(
+      115,
+      [](const Message& m, BufferWriter& w) {
+        const auto& msg = static_cast<const ViewPrepareMsg&>(m);
+        w.u64(msg.range_lo);
+        w.u64(msg.range_hi);
+        w.var_u64(msg.target);
+        write_ballot(w, msg.ballot);
+      },
+      [](BufferReader& r, Address s, Address d) -> MessagePtr {
+        const RingKey lo = r.u64();
+        const RingKey hi = r.u64();
+        const std::uint64_t target = r.var_u64();
+        return std::make_shared<const ViewPrepareMsg>(s, d, lo, hi, target, read_ballot(r));
+      });
+
+  reg.register_message<ViewPromiseMsg>(
+      116,
+      [](const Message& m, BufferWriter& w) {
+        const auto& msg = static_cast<const ViewPromiseMsg&>(m);
+        w.u64(msg.range_hi);
+        w.var_u64(msg.target);
+        write_ballot(w, msg.ballot);
+        w.boolean(msg.ok);
+        write_ballot(w, msg.promised);
+        w.boolean(msg.has_accepted);
+        write_ballot(w, msg.accepted_ballot);
+        write_group_views(w, msg.accepted_children);
+        write_group_views(w, msg.catchup);
+        write_key_states(w, msg.state);
+      },
+      [](BufferReader& r, Address s, Address d) -> MessagePtr {
+        const RingKey hi = r.u64();
+        const std::uint64_t target = r.var_u64();
+        const Ballot ballot = read_ballot(r);
+        const bool ok = r.boolean();
+        const Ballot promised = read_ballot(r);
+        const bool has_accepted = r.boolean();
+        const Ballot accepted_ballot = read_ballot(r);
+        auto accepted_children = read_group_views(r);
+        auto catchup = read_group_views(r);
+        return std::make_shared<const ViewPromiseMsg>(s, d, hi, target, ballot, ok, promised,
+                                                      has_accepted, accepted_ballot,
+                                                      std::move(accepted_children),
+                                                      std::move(catchup), read_key_states(r));
+      });
+
+  reg.register_message<ViewAcceptMsg>(
+      117,
+      [](const Message& m, BufferWriter& w) {
+        const auto& msg = static_cast<const ViewAcceptMsg&>(m);
+        w.u64(msg.range_lo);
+        w.u64(msg.range_hi);
+        w.var_u64(msg.target);
+        write_ballot(w, msg.ballot);
+        write_group_views(w, msg.children);
+      },
+      [](BufferReader& r, Address s, Address d) -> MessagePtr {
+        const RingKey lo = r.u64();
+        const RingKey hi = r.u64();
+        const std::uint64_t target = r.var_u64();
+        const Ballot ballot = read_ballot(r);
+        return std::make_shared<const ViewAcceptMsg>(s, d, lo, hi, target, ballot,
+                                                     read_group_views(r));
+      });
+
+  reg.register_message<ViewAcceptedMsg>(
+      118,
+      [](const Message& m, BufferWriter& w) {
+        const auto& msg = static_cast<const ViewAcceptedMsg&>(m);
+        w.u64(msg.range_hi);
+        w.var_u64(msg.target);
+        write_ballot(w, msg.ballot);
+        w.boolean(msg.ok);
+      },
+      [](BufferReader& r, Address s, Address d) -> MessagePtr {
+        const RingKey hi = r.u64();
+        const std::uint64_t target = r.var_u64();
+        const Ballot ballot = read_ballot(r);
+        return std::make_shared<const ViewAcceptedMsg>(s, d, hi, target, ballot, r.boolean());
+      });
+
+  reg.register_message<ViewInstallMsg>(
+      119,
+      [](const Message& m, BufferWriter& w) {
+        const auto& msg = static_cast<const ViewInstallMsg&>(m);
+        w.u64(msg.parent_hi);
+        write_group_view(w, msg.child);
+        write_key_states(w, msg.state);
+      },
+      [](BufferReader& r, Address s, Address d) -> MessagePtr {
+        const RingKey parent_hi = r.u64();
+        GroupView child = read_group_view(r);
+        return std::make_shared<const ViewInstallMsg>(s, d, parent_hi, std::move(child),
+                                                      read_key_states(r));
+      });
+
+  reg.register_message<ViewInstallAckMsg>(
+      142,
+      [](const Message& m, BufferWriter& w) {
+        const auto& msg = static_cast<const ViewInstallAckMsg&>(m);
+        w.u64(msg.parent_hi);
+        w.u64(msg.child_hi);
+        w.var_u64(msg.version);
+      },
+      [](BufferReader& r, Address s, Address d) -> MessagePtr {
+        const RingKey parent_hi = r.u64();
+        const RingKey child_hi = r.u64();
+        return std::make_shared<const ViewInstallAckMsg>(s, d, parent_hi, child_hi, r.var_u64());
+      });
+
+  reg.register_message<ViewFetchMsg>(
+      143,
+      [](const Message& m, BufferWriter& w) {
+        const auto& msg = static_cast<const ViewFetchMsg&>(m);
+        w.u64(msg.lo);
+        w.u64(msg.hi);
+      },
+      [](BufferReader& r, Address s, Address d) -> MessagePtr {
+        const RingKey lo = r.u64();
+        return std::make_shared<const ViewFetchMsg>(s, d, lo, r.u64());
       });
 
   reg.register_message<RouteLookupMsg>(
@@ -226,11 +427,14 @@ void do_register() {
         w.var_u64(msg.op);
         w.u64(msg.key);
         write_node_refs(w, msg.group);
+        w.var_u64(msg.view_version);
       },
       [](BufferReader& r, Address s, Address d) -> MessagePtr {
         const OpId op = r.var_u64();
         const RingKey key = r.u64();
-        return std::make_shared<const LookupResultMsg>(s, d, op, key, read_node_refs(r));
+        auto group = read_node_refs(r);
+        return std::make_shared<const LookupResultMsg>(s, d, op, key, std::move(group),
+                                                       r.var_u64());
       });
 
   reg.register_message<BootstrapRequestMsg>(

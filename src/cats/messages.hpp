@@ -156,24 +156,32 @@ struct VersionTag {
   }
 };
 
+/// Every ABD phase message carries the consistent-quorum view version the
+/// coordinator resolved its replica group under (`view`); replicas reject
+/// phase messages whose version does not match their installed view, which
+/// is what makes two concurrent quorums for the same range impossible.
 class AbdReadMsg : public Message {
   KOMPICS_EVENT(AbdReadMsg, Message);
 
  public:
-  AbdReadMsg(Address s, Address d, OpId op, RingKey key) : Message(s, d), op(op), key(key) {}
+  AbdReadMsg(Address s, Address d, OpId op, RingKey key, std::uint64_t view)
+      : Message(s, d), op(op), key(key), view(view) {}
   OpId op;
   RingKey key;
+  std::uint64_t view;
 };
 
 class AbdReadAckMsg : public Message {
   KOMPICS_EVENT(AbdReadAckMsg, Message);
 
  public:
-  AbdReadAckMsg(Address s, Address d, OpId op, RingKey key, VersionTag tag, bool exists,
-                Value value)
-      : Message(s, d), op(op), key(key), tag(tag), exists(exists), value(std::move(value)) {}
+  AbdReadAckMsg(Address s, Address d, OpId op, RingKey key, std::uint64_t view, VersionTag tag,
+                bool exists, Value value)
+      : Message(s, d), op(op), key(key), view(view), tag(tag), exists(exists),
+        value(std::move(value)) {}
   OpId op;
   RingKey key;
+  std::uint64_t view;  ///< echo of the phase message's view version
   VersionTag tag;
   bool exists;
   Value value;
@@ -183,11 +191,13 @@ class AbdWriteMsg : public Message {
   KOMPICS_EVENT(AbdWriteMsg, Message);
 
  public:
-  AbdWriteMsg(Address s, Address d, OpId op, RingKey key, VersionTag tag, bool exists,
-              Value value)
-      : Message(s, d), op(op), key(key), tag(tag), exists(exists), value(std::move(value)) {}
+  AbdWriteMsg(Address s, Address d, OpId op, RingKey key, std::uint64_t view, VersionTag tag,
+              bool exists, Value value)
+      : Message(s, d), op(op), key(key), view(view), tag(tag), exists(exists),
+        value(std::move(value)) {}
   OpId op;
   RingKey key;
+  std::uint64_t view;
   VersionTag tag;
   bool exists;  ///< false only for write-backs of "no value" (no-op impose)
   Value value;
@@ -197,9 +207,25 @@ class AbdWriteAckMsg : public Message {
   KOMPICS_EVENT(AbdWriteAckMsg, Message);
 
  public:
-  AbdWriteAckMsg(Address s, Address d, OpId op, RingKey key) : Message(s, d), op(op), key(key) {}
+  AbdWriteAckMsg(Address s, Address d, OpId op, RingKey key, std::uint64_t view)
+      : Message(s, d), op(op), key(key), view(view) {}
   OpId op;
   RingKey key;
+  std::uint64_t view;
+};
+
+/// Replica refusal of an ABD phase message sent under a stale (or not yet
+/// installed) view. Lets the coordinator abandon an unreachable quorum
+/// early and retry with a fresh lookup instead of waiting out the timeout.
+class AbdNackMsg : public Message {
+  KOMPICS_EVENT(AbdNackMsg, Message);
+
+ public:
+  AbdNackMsg(Address s, Address d, OpId op, RingKey key, std::uint64_t current_version)
+      : Message(s, d), op(op), key(key), current_version(current_version) {}
+  OpId op;
+  RingKey key;
+  std::uint64_t current_version;  ///< replica's installed version (0 = none)
 };
 
 // ---- one-hop routing ---------------------------------------------------------
@@ -225,11 +251,158 @@ class LookupResultMsg : public Message {
   KOMPICS_EVENT(LookupResultMsg, Message);
 
  public:
-  LookupResultMsg(Address s, Address d, OpId op, RingKey key, std::vector<NodeRef> group)
-      : Message(s, d), op(op), key(key), group(std::move(group)) {}
+  LookupResultMsg(Address s, Address d, OpId op, RingKey key, std::vector<NodeRef> group,
+                  std::uint64_t view_version = 0)
+      : Message(s, d), op(op), key(key), group(std::move(group)), view_version(view_version) {}
   OpId op;
   RingKey key;
   std::vector<NodeRef> group;
+  std::uint64_t view_version;
+};
+
+// ---- consistent-quorum view reconfiguration ---------------------------------
+//
+// A key range's replica group only changes through a single-decree consensus
+// instance run over the members of the OLD view (the paper's consistent
+// quorums [11]). Promising a proposal FENCES the old view at the acceptor:
+// it stops acknowledging ABD phase messages for that version. A new view is
+// installed only after a majority of the old view accepted it — i.e. only
+// once the old view can no longer assemble an ABD quorum — so a partial
+// partition can never commit divergent writes under two views of one range.
+
+/// Proposal ballot: totally ordered, proposer key breaks ties.
+struct Ballot {
+  std::uint64_t round = 0;
+  std::uint64_t proposer = 0;
+  bool operator<(const Ballot& o) const {
+    return round != o.round ? round < o.round : proposer < o.proposer;
+  }
+  bool operator==(const Ballot& o) const { return round == o.round && proposer == o.proposer; }
+  bool operator<=(const Ballot& o) const { return *this < o || *this == o; }
+};
+
+/// One stored key shipped during view installation / catch-up.
+struct KeyState {
+  RingKey key = 0;
+  VersionTag tag{};
+  Value value;
+};
+
+/// Phase 1a: fence the range (range_lo, range_hi] at version target-1 and
+/// ask its members to promise ballot for the reconfiguration to `target`.
+class ViewPrepareMsg : public Message {
+  KOMPICS_EVENT(ViewPrepareMsg, Message);
+
+ public:
+  ViewPrepareMsg(Address s, Address d, RingKey range_lo, RingKey range_hi, std::uint64_t target,
+                 Ballot ballot)
+      : Message(s, d), range_lo(range_lo), range_hi(range_hi), target(target), ballot(ballot) {}
+  RingKey range_lo;
+  RingKey range_hi;
+  std::uint64_t target;
+  Ballot ballot;
+};
+
+/// Phase 1b. ok=true carries any previously accepted proposal (Paxos adopt
+/// rule) plus the acceptor's replica state for the range (the state-transfer
+/// source). ok=false with a non-empty `catchup` view tells a stale proposer
+/// which newer view is already installed.
+class ViewPromiseMsg : public Message {
+  KOMPICS_EVENT(ViewPromiseMsg, Message);
+
+ public:
+  ViewPromiseMsg(Address s, Address d, RingKey range_hi, std::uint64_t target, Ballot ballot,
+                 bool ok, Ballot promised, bool has_accepted, Ballot accepted_ballot,
+                 std::vector<GroupView> accepted_children, std::vector<GroupView> catchup,
+                 std::vector<KeyState> state)
+      : Message(s, d), range_hi(range_hi), target(target), ballot(ballot), ok(ok),
+        promised(promised), has_accepted(has_accepted), accepted_ballot(accepted_ballot),
+        accepted_children(std::move(accepted_children)), catchup(std::move(catchup)),
+        state(std::move(state)) {}
+  RingKey range_hi;
+  std::uint64_t target;
+  Ballot ballot;  ///< the prepare's ballot, echoed for matching
+  bool ok;
+  Ballot promised;
+  bool has_accepted;
+  Ballot accepted_ballot;
+  std::vector<GroupView> accepted_children;
+  std::vector<GroupView> catchup;  ///< 0 or 1 newer installed views (ok=false)
+  std::vector<KeyState> state;
+};
+
+/// Phase 2a: the children views (1 = member change, 2 = range split) that
+/// replace the parent range at `target`.
+class ViewAcceptMsg : public Message {
+  KOMPICS_EVENT(ViewAcceptMsg, Message);
+
+ public:
+  ViewAcceptMsg(Address s, Address d, RingKey range_lo, RingKey range_hi, std::uint64_t target,
+                Ballot ballot, std::vector<GroupView> children)
+      : Message(s, d), range_lo(range_lo), range_hi(range_hi), target(target), ballot(ballot),
+        children(std::move(children)) {}
+  RingKey range_lo;
+  RingKey range_hi;
+  std::uint64_t target;
+  Ballot ballot;
+  std::vector<GroupView> children;
+};
+
+/// Phase 2b.
+class ViewAcceptedMsg : public Message {
+  KOMPICS_EVENT(ViewAcceptedMsg, Message);
+
+ public:
+  ViewAcceptedMsg(Address s, Address d, RingKey range_hi, std::uint64_t target, Ballot ballot,
+                  bool ok)
+      : Message(s, d), range_hi(range_hi), target(target), ballot(ballot), ok(ok) {}
+  RingKey range_hi;
+  std::uint64_t target;
+  Ballot ballot;
+  bool ok;
+};
+
+/// Decision + state transfer: install one child view (sent to every member
+/// of the child; also answers a ViewFetchMsg for catch-up). The receiver
+/// merges `state` by max tag, drops any overlapping older range, and
+/// publishes the view to its router.
+class ViewInstallMsg : public Message {
+  KOMPICS_EVENT(ViewInstallMsg, Message);
+
+ public:
+  ViewInstallMsg(Address s, Address d, RingKey parent_hi, GroupView child,
+                 std::vector<KeyState> state)
+      : Message(s, d), parent_hi(parent_hi), child(std::move(child)), state(std::move(state)) {}
+  RingKey parent_hi;
+  GroupView child;
+  std::vector<KeyState> state;
+};
+
+class ViewInstallAckMsg : public Message {
+  KOMPICS_EVENT(ViewInstallAckMsg, Message);
+
+ public:
+  ViewInstallAckMsg(Address s, Address d, RingKey parent_hi, RingKey child_hi,
+                    std::uint64_t version)
+      : Message(s, d), parent_hi(parent_hi), child_hi(child_hi), version(version) {}
+  RingKey parent_hi;
+  RingKey child_hi;
+  std::uint64_t version;
+};
+
+/// Catch-up pull: "send me the views covering (lo, hi]". A node that is
+/// ring-responsible for an interval no installed view covers (e.g. a healed
+/// boundary node that was evicted from its old group) asks a successor —
+/// replicas of its ranges — for copies, then proposes a member change to
+/// re-enter the group. Answered with ViewInstallMsg per overlapping view.
+class ViewFetchMsg : public Message {
+  KOMPICS_EVENT(ViewFetchMsg, Message);
+
+ public:
+  ViewFetchMsg(Address s, Address d, RingKey lo, RingKey hi)
+      : Message(s, d), lo(lo), hi(hi) {}
+  RingKey lo;
+  RingKey hi;
 };
 
 // ---- bootstrap ------------------------------------------------------------------

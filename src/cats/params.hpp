@@ -35,6 +35,17 @@ struct CatsParams {
   // ABD operations.
   DurationMs op_timeout_ms = 3000;
   int op_max_retries = 3;
+  // When replicas nack enough of a phase that a quorum is impossible (the
+  // view is being reconfigured), the coordinator retries after this short
+  // backoff instead of the full op timeout. Instant retry would burn every
+  // attempt inside the fence window of a single in-flight view change.
+  DurationMs fast_retry_backoff_ms = 50;
+
+  // Consistent-quorum view reconfiguration: how often a node re-evaluates
+  // whether the views it is responsible for match the ring (drives splits on
+  // join, member changes after eviction, catch-up fetches, and retransmits
+  // of stalled proposals).
+  DurationMs view_reconfig_period_ms = 500;
 
   // Bootstrap.
   DurationMs keepalive_period_ms = 5000;

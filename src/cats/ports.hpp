@@ -10,6 +10,8 @@
 //   EventuallyPerfectFD — ping failure detector (Suspect / Restore)
 //   Bootstrap           — node discovery at join time
 //   Status              — per-component introspection for monitoring / web
+//   QuorumViews         — installed consistent-quorum views (replica groups
+//                         versioned per key range; CATS tech report [11])
 
 #include <cstdint>
 #include <map>
@@ -113,12 +115,13 @@ class RingView : public Event {
 
  public:
   RingView(NodeRef self, NodeRef predecessor, bool has_predecessor,
-           std::vector<NodeRef> successors, bool sole_member)
+           std::vector<NodeRef> successors, bool sole_member, std::uint64_t epoch = 0)
       : self(self),
         predecessor(predecessor),
         has_predecessor(has_predecessor),
         successors(std::move(successors)),
-        sole_member(sole_member) {}
+        sole_member(sole_member),
+        epoch(epoch) {}
   NodeRef self;
   NodeRef predecessor;
   bool has_predecessor;
@@ -128,6 +131,9 @@ class RingView : public Event {
   /// partition) is NOT a sole member: claiming whole-ring authority there
   /// would be split-brain (see router.cpp).
   bool sole_member;
+  /// Monotonic count of local view changes. Quorum-view reconfiguration
+  /// ballots fold it in so proposal rounds advance with ring churn.
+  std::uint64_t epoch;
 };
 
 /// Indication that this node has completed its join protocol.
@@ -168,11 +174,16 @@ class LookupResponse : public Event {
   KOMPICS_EVENT(LookupResponse, Event);
 
  public:
-  LookupResponse(OpId id, RingKey key, std::vector<NodeRef> group)
-      : id(id), key(key), group(std::move(group)) {}
+  LookupResponse(OpId id, RingKey key, std::vector<NodeRef> group,
+                 std::uint64_t view_version = 0)
+      : id(id), key(key), group(std::move(group)), view_version(view_version) {}
   OpId id;
   RingKey key;
   std::vector<NodeRef> group;  ///< responsible node first, then its successors
+  /// Version of the consistent-quorum view the group was taken from. ABD
+  /// operations stamp it on every phase message; replicas reject stale
+  /// versions. 0 => no installed view backs this answer (empty group).
+  std::uint64_t view_version;
 };
 
 class Router : public PortType {
@@ -181,6 +192,49 @@ class Router : public PortType {
     set_name("Router");
     request<LookupRequest>();
     indication<LookupResponse>();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// QuorumViews (consistent quorums, CATS tech report [11]): versioned replica
+// groups per key range. The ABD layer owns view installation (it runs the
+// reconfiguration consensus) and publishes every installed view; the router
+// answers lookups from the installed views so operations always carry the
+// view version their replica group was read under.
+// ---------------------------------------------------------------------------
+
+/// A versioned replica group for the ring range (lo, hi]. lo == hi means the
+/// full ring (genesis view of a lone ring). members[0] is the primary (the
+/// ring node responsible for the range).
+struct GroupView {
+  RingKey lo = 0;
+  RingKey hi = 0;
+  std::uint64_t version = 0;
+  std::vector<NodeRef> members;
+  bool covers(RingKey k) const { return in_interval_oc(lo, hi, k); }
+  bool has_member(const Address& a) const {
+    for (const auto& m : members) {
+      if (m.addr == a) return true;
+    }
+    return false;
+  }
+};
+
+/// Indication that a view was installed locally (new range, new version, or
+/// a catch-up copy fetched from a peer).
+class ViewUpdate : public Event {
+  KOMPICS_EVENT(ViewUpdate, Event);
+
+ public:
+  explicit ViewUpdate(GroupView view) : view(std::move(view)) {}
+  GroupView view;
+};
+
+class QuorumViews : public PortType {
+ public:
+  QuorumViews() {
+    set_name("QuorumViews");
+    indication<ViewUpdate>();
   }
 };
 

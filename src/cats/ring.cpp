@@ -196,6 +196,7 @@ CatsRing::CatsRing() {
     for (const auto& s : succs_) succs += ring_key_str(s.key) + " ";
     fields["successors"] = succs;
     fields["stabilizations"] = std::to_string(stabilizations_);
+    fields["ring_epoch"] = std::to_string(epoch_);
     trigger(make_event<StatusResponse>(req.id, "CatsRing", std::move(fields)), status_);
   });
 }
@@ -299,8 +300,9 @@ void CatsRing::set_monitoring() {
 }
 
 void CatsRing::publish_view() {
+  ++epoch_;
   trigger(make_event<RingView>(self_, pred_, has_pred_, succs_,
-                               /*sole_member=*/lone_ && succs_.empty()),
+                               /*sole_member=*/lone_ && succs_.empty(), epoch_),
           ring_);
 }
 

@@ -37,6 +37,7 @@ class CatsRing : public ComponentDefinition {
   bool has_predecessor() const { return has_pred_; }
   const NodeRef& predecessor() const { return pred_; }
   bool ready() const { return ready_; }
+  std::uint64_t epoch() const { return epoch_; }
 
  private:
   struct StabilizeRound : timing::Timeout {
@@ -79,6 +80,7 @@ class CatsRing : public ComponentDefinition {
   // right after the FD evicted it would make the ring flap.
   std::map<Address, TimeMs> recently_suspected_;
   std::uint64_t stabilizations_ = 0;
+  std::uint64_t epoch_ = 0;  ///< bumped on every published view change
 };
 
 }  // namespace kompics::cats

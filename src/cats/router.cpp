@@ -27,12 +27,33 @@ OneHopRouter::OneHopRouter() {
     for (const auto& s : view.successors) learn(s);
   });
 
+  // Mirror the local ABD's installed quorum views: a newly installed view
+  // supersedes any older cached view it covers (same range after a member
+  // change, or the parent of a split).
+  subscribe<ViewUpdate>(quorum_views_, [this](const ViewUpdate& vu) {
+    for (auto it = views_.begin(); it != views_.end();) {
+      const bool superseded =
+          it->second.version < vu.view.version && it->second.covers(vu.view.hi);
+      it = superseded ? views_.erase(it) : std::next(it);
+    }
+    auto have = views_.find(vu.view.hi);
+    if (have == views_.end() || have->second.version < vu.view.version) {
+      views_[vu.view.hi] = vu.view;
+      for (const auto& m : vu.view.members) learn(m);
+    }
+  });
+
   subscribe<LookupRequest>(router_, [this](const LookupRequest& req) {
     evict_stale();
     if (responsible_for(req.key)) {
       ++lookups_served_;
-      trigger(make_event<LookupResponse>(req.id, req.key, build_group(req.key, req.group_size)),
-              router_);
+      const GroupView* v = covering_view(req.key);
+      if (v != nullptr) {
+        trigger(make_event<LookupResponse>(req.id, req.key, v->members, v->version), router_);
+      } else {
+        trigger(make_event<LookupResponse>(req.id, req.key, build_group(req.key, req.group_size)),
+                router_);
+      }
       return;
     }
     if (!forward(self_, req.id, req.key, static_cast<std::uint32_t>(req.group_size), kMaxHops)) {
@@ -55,7 +76,7 @@ OneHopRouter::OneHopRouter() {
 
   subscribe<LookupResultMsg>(network_, [this](const LookupResultMsg& msg) {
     for (const auto& n : msg.group) learn(n);
-    trigger(make_event<LookupResponse>(msg.op, msg.key, msg.group), router_);
+    trigger(make_event<LookupResponse>(msg.op, msg.key, msg.group, msg.view_version), router_);
   });
 
   subscribe<StatusRequest>(status_, [this](const StatusRequest& req) {
@@ -63,6 +84,7 @@ OneHopRouter::OneHopRouter() {
     fields["table_size"] = std::to_string(table_.size());
     fields["lookups_served"] = std::to_string(lookups_served_);
     fields["lookups_forwarded"] = std::to_string(lookups_forwarded_);
+    fields["views_cached"] = std::to_string(views_.size());
     trigger(make_event<StatusResponse>(req.id, "OneHopRouter", std::move(fields)), status_);
   });
 }
@@ -89,6 +111,15 @@ bool OneHopRouter::responsible_for(RingKey key) const {
   // off by a partition — must refuse authority, otherwise it would commit
   // split-brain writes at quorum 1 (found by the partition tests).
   return sole_member_;
+}
+
+const GroupView* OneHopRouter::covering_view(RingKey key) const {
+  const GroupView* best = nullptr;
+  for (const auto& [hi, v] : views_) {
+    if (!v.covers(key)) continue;
+    if (best == nullptr || best->version < v.version) best = &v;
+  }
+  return best;
 }
 
 std::vector<NodeRef> OneHopRouter::build_group(RingKey, std::size_t group_size) const {
@@ -150,11 +181,14 @@ bool OneHopRouter::forward(const NodeRef& origin, OpId op, RingKey key,
 void OneHopRouter::handle_lookup_at_responsible(const NodeRef& origin, OpId op, RingKey key,
                                                 std::size_t group_size) {
   ++lookups_served_;
-  auto group = build_group(key, group_size);
+  const GroupView* v = covering_view(key);
+  auto group = v != nullptr ? v->members : build_group(key, group_size);
+  const std::uint64_t version = v != nullptr ? v->version : 0;
   if (origin.addr == self_.addr) {
-    trigger(make_event<LookupResponse>(op, key, std::move(group)), router_);
+    trigger(make_event<LookupResponse>(op, key, std::move(group), version), router_);
   } else {
-    trigger(make_event<LookupResultMsg>(self_.addr, origin.addr, op, key, std::move(group)),
+    trigger(make_event<LookupResultMsg>(self_.addr, origin.addr, op, key, std::move(group),
+                                        version),
             network_);
   }
 }

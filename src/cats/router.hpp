@@ -49,6 +49,7 @@ class OneHopRouter : public ComponentDefinition {
   void handle_lookup_at_responsible(const NodeRef& origin, OpId op, RingKey key,
                                     std::size_t group_size);
   bool responsible_for(RingKey key) const;
+  const GroupView* covering_view(RingKey key) const;
   std::vector<NodeRef> build_group(RingKey key, std::size_t group_size) const;
   bool forward(const NodeRef& origin, OpId op, RingKey key, std::uint32_t group_size,
                std::uint32_t ttl);
@@ -59,6 +60,7 @@ class OneHopRouter : public ComponentDefinition {
   Positive<net::Network> network_ = require<net::Network>();
   Positive<NodeSampling> sampling_ = require<NodeSampling>();
   Positive<Ring> ring_ = require<Ring>();
+  Positive<QuorumViews> quorum_views_ = require<QuorumViews>();
 
   NodeRef self_;
   CatsParams params_;
@@ -76,6 +78,13 @@ class OneHopRouter : public ComponentDefinition {
   bool has_pred_ = false;
   NodeRef pred_{};
   std::vector<NodeRef> succs_;
+  // Installed quorum views published by the local ABD's view manager. A
+  // lookup this node is responsible for is answered from the covering view
+  // (members + version) when one exists: those are the only groups replicas
+  // will acknowledge phases for. Without one, the ring-successor group is
+  // answered with view_version 0 — usable for ring joins, but coordinators
+  // must not run quorum phases under it.
+  std::map<RingKey, GroupView> views_;
   std::uint64_t lookups_served_ = 0;
   std::uint64_t lookups_forwarded_ = 0;
 };

@@ -30,6 +30,7 @@ struct LinkModel {
   DurationMs max_latency = 1;  ///< uniform in [min, max]
   double loss = 0.0;           ///< iid drop probability
   bool fifo = false;           ///< clamp delays so each (src,dst) link is FIFO
+  double duplicate = 0.0;      ///< iid probability of a second, independent delivery
 };
 
 class SimNetworkHub {
@@ -65,6 +66,7 @@ class SimNetworkHub {
     std::uint64_t lost = 0;
     std::uint64_t unroutable = 0;
     std::uint64_t partitioned = 0;
+    std::uint64_t duplicated = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -134,27 +136,37 @@ inline void SimNetworkHub::send(const net::MessagePtr& m) {
     ++stats_.lost;
     return;
   }
-  DurationMs delay = model_.min_latency;
-  if (model_.max_latency > model_.min_latency) {
-    delay += static_cast<DurationMs>(
-        rng_.next_below(static_cast<std::uint64_t>(model_.max_latency - model_.min_latency) + 1));
-  }
-  if (model_.fifo) {
-    const std::uint64_t link = m->source().key() * 0x1000003ULL ^ m->destination().key();
-    TimeMs& last = last_delivery_[link];
-    const TimeMs at = core_->now() + delay;
-    if (at < last) delay = last - core_->now();
-    last = core_->now() + delay;
-  }
-  core_->schedule(delay, [this, m] {
-    auto it = nodes_.find(m->destination());
-    if (it == nodes_.end()) {
-      ++stats_.unroutable;  // node failed/destroyed while in flight
-      return;
+  auto schedule_delivery = [this, &m] {
+    DurationMs delay = model_.min_latency;
+    if (model_.max_latency > model_.min_latency) {
+      delay += static_cast<DurationMs>(rng_.next_below(
+          static_cast<std::uint64_t>(model_.max_latency - model_.min_latency) + 1));
     }
-    ++stats_.delivered;
-    it->second->deliver(m);
-  });
+    if (model_.fifo) {
+      const std::uint64_t link = m->source().key() * 0x1000003ULL ^ m->destination().key();
+      TimeMs& last = last_delivery_[link];
+      const TimeMs at = core_->now() + delay;
+      if (at < last) delay = last - core_->now();
+      last = core_->now() + delay;
+    }
+    core_->schedule(delay, [this, m] {
+      auto it = nodes_.find(m->destination());
+      if (it == nodes_.end()) {
+        ++stats_.unroutable;  // node failed/destroyed while in flight
+        return;
+      }
+      ++stats_.delivered;
+      it->second->deliver(m);
+    });
+  };
+  schedule_delivery();
+  // Duplicate delivery: the same message arrives twice, at independently
+  // drawn delays — models retransmission by a lower layer. Quorum counting
+  // must deduplicate by replica, not count raw acks.
+  if (model_.duplicate > 0.0 && rng_.next_double() < model_.duplicate) {
+    ++stats_.duplicated;
+    schedule_delivery();
+  }
 }
 
 }  // namespace kompics::sim

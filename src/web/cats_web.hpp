@@ -11,6 +11,7 @@
 // node) and serves pages from the cache, so HTTP worker threads never wait
 // on protocol components.
 
+#include <cctype>
 #include <map>
 #include <string>
 
@@ -46,8 +47,37 @@ class CatsWebApp : public ComponentDefinition {
       cache_[resp.component] = resp.fields;
     });
     subscribe<WebRequest>(web_, [this](const WebRequest& req) {
+      if (req.path == "/metrics") {
+        // Protocol-level counters (ring epoch, view installs/fences, quorum
+        // retries, ...) in Prometheus text format — the kernel's own
+        // /metrics covers the component runtime, this covers CATS itself.
+        trigger(make_event<WebResponse>(req.id, 200, "text/plain; version=0.0.4",
+                                        render_metrics()),
+                web_);
+        return;
+      }
       trigger(make_event<WebResponse>(req.id, 200, "text/html", render(req.path)), web_);
     });
+  }
+
+  std::string render_metrics() const {
+    std::string out;
+    const std::string node = std::to_string(self_.addr.host);
+    for (const auto& [component, fields] : cache_) {
+      std::string comp;
+      for (char c : component) {
+        comp += (std::isalnum(static_cast<unsigned char>(c)) != 0)
+                    ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                    : '_';
+      }
+      for (const auto& [k, v] : fields) {
+        // Only numeric gauges/counters belong on the metrics surface; status
+        // strings (ring keys, successor lists) stay on the HTML page.
+        if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) continue;
+        out += "cats_" + comp + "_" + k + "{node=\"" + node + "\"} " + v + "\n";
+      }
+    }
+    return out;
   }
 
   std::string render(const std::string& path) const {

@@ -139,14 +139,9 @@ void HttpServer::serve_connection(int fd) {
     }
   }
 
-  // Telemetry endpoints answer directly from the kernel (no Web-port round
+  // The trace endpoint answers directly from the kernel (no Web-port round
   // trip): the monitoring surface must work even when the application layer
   // is wedged — that is precisely when it is needed.
-  if (telemetry_endpoints_ && path == "/metrics") {
-    send_direct(fd, 200, "text/plain; version=0.0.4",
-                telemetry::render_prometheus(runtime()));
-    return;
-  }
   if (telemetry_endpoints_ && path == "/trace") {
     send_direct(fd, 200, "application/json", telemetry::render_trace_json(runtime()));
     return;
@@ -168,6 +163,20 @@ void HttpServer::serve_connection(int fd) {
   {
     std::lock_guard<std::mutex> g(pending_mu_);
     pending_.erase(id);
+  }
+
+  // /metrics is one combined surface: kernel telemetry first (rendered here,
+  // so it is served even when the application layer is wedged and the round
+  // trip above timed out), then whatever protocol-level samples the web app
+  // answered for the same path (e.g. CATS ring-epoch and view counters).
+  if (telemetry_endpoints_ && path == "/metrics") {
+    std::string body = telemetry::render_prometheus(runtime());
+    if (pending->done && pending->status == 200 &&
+        pending->content_type.rfind("text/plain", 0) == 0) {
+      body += pending->body;
+    }
+    send_direct(fd, 200, "text/plain; version=0.0.4", body);
+    return;
   }
 
   send_direct(fd, pending->status, pending->content_type, pending->body);

@@ -1,8 +1,11 @@
 // White-box tests of the ConsistentABD protocol machine: quorum counting,
 // the read-impose write-back, replica tag ordering, retry semantics (same
-// tag retransmission — the checker-found invariant), and stale-attempt
-// filtering. A scripted harness plays router + network + timer so every
-// message is injected deterministically.
+// tag retransmission — the checker-found invariant), stale-attempt
+// filtering, and the consistent-quorum plumbing (view-stamped phases, the
+// replica view gate, per-replica ack dedup, nack-driven fast retry, and the
+// find()-based read path that keeps the store from growing under read
+// storms of absent keys). A scripted harness plays router + network + timer
+// so every message is injected deterministically.
 
 #include <gtest/gtest.h>
 
@@ -26,7 +29,7 @@ class Harness : public ComponentDefinition {
     subscribe<LookupRequest>(router_, [this](const LookupRequest& req) {
       lookups.push_back(req);
       if (auto_answer_lookups) {
-        trigger(make_event<LookupResponse>(req.id, req.key, group), router_);
+        trigger(make_event<LookupResponse>(req.id, req.key, group, view_version), router_);
       }
     });
     subscribe<AbdReadMsg>(network_, [this](const AbdReadMsg& m) { reads.push_back(m); });
@@ -39,40 +42,72 @@ class Harness : public ComponentDefinition {
     subscribe<AbdWriteAckMsg>(network_, [this](const AbdWriteAckMsg& m) {
       replica_write_acks.push_back(m);
     });
+    subscribe<AbdNackMsg>(network_, [this](const AbdNackMsg& m) { replica_nacks.push_back(m); });
+    subscribe<ViewPromiseMsg>(network_, [this](const ViewPromiseMsg& m) {
+      promises.push_back(m);
+    });
     // Client-side responses come back on the ABD's PutGet port; the harness
     // subscribes there via the parent below.
   }
 
-  // Inject replies as if they came from replicas.
+  // Inject replies as if they came from replicas (echoing the phase view,
+  // as a correct replica does).
   void read_ack(const AbdReadMsg& to, VersionTag tag, bool exists, Value v,
                 Address from_replica) {
-    trigger(make_event<AbdReadAckMsg>(from_replica, to.source(), to.op, to.key, tag, exists,
-                                      std::move(v)),
+    trigger(make_event<AbdReadAckMsg>(from_replica, to.source(), to.op, to.key, to.view, tag,
+                                      exists, std::move(v)),
             network_);
   }
   void write_ack(const AbdWriteMsg& to, Address from_replica) {
-    trigger(make_event<AbdWriteAckMsg>(from_replica, to.source(), to.op, to.key), network_);
+    trigger(make_event<AbdWriteAckMsg>(from_replica, to.source(), to.op, to.key, to.view),
+            network_);
+  }
+  /// A *wrong* ack: view version different from the phase message's.
+  void read_ack_with_view(const AbdReadMsg& to, std::uint64_t view, Address from_replica) {
+    trigger(make_event<AbdReadAckMsg>(from_replica, to.source(), to.op, to.key, view,
+                                      VersionTag{}, false, Value{}),
+            network_);
+  }
+  void nack(const AbdReadMsg& to, std::uint64_t current_version, Address from_replica) {
+    trigger(make_event<AbdNackMsg>(from_replica, to.source(), to.op, to.key, current_version),
+            network_);
   }
 
   // Drive the ABD's *replica* role, as a remote coordinator would.
-  void inject_replica_write(Address from, Address to, OpId op, RingKey key, VersionTag tag,
-                            Value v) {
-    trigger(make_event<AbdWriteMsg>(from, to, op, key, tag, true, std::move(v)), network_);
+  void inject_replica_write(Address from, Address to, OpId op, RingKey key, std::uint64_t view,
+                            VersionTag tag, Value v) {
+    trigger(make_event<AbdWriteMsg>(from, to, op, key, view, tag, true, std::move(v)),
+            network_);
   }
-  void inject_replica_read(Address from, Address to, OpId op, RingKey key) {
-    trigger(make_event<AbdReadMsg>(from, to, op, key), network_);
+  void inject_replica_read(Address from, Address to, OpId op, RingKey key, std::uint64_t view) {
+    trigger(make_event<AbdReadMsg>(from, to, op, key, view), network_);
+  }
+  /// Hand the ABD an installed view, as a decided reconfiguration would.
+  void install_view(Address to, GroupView view, std::vector<KeyState> state = {}) {
+    trigger(make_event<ViewInstallMsg>(Address::node(200), to, /*parent_hi=*/view.hi,
+                                       std::move(view), std::move(state)),
+            network_);
+  }
+  /// Fence a range at the ABD, as a competing reconfiguration's Prepare would.
+  void prepare(Address to, RingKey lo, RingKey hi, std::uint64_t target, Ballot ballot) {
+    trigger(make_event<ViewPrepareMsg>(Address::node(200), to, lo, hi, target, ballot),
+            network_);
   }
 
   Negative<Router> router_ = provide<Router>();
+  Negative<Ring> ring_ = provide<Ring>();
   Negative<net::Network> network_ = provide<net::Network>();
 
   bool auto_answer_lookups = true;
+  std::uint64_t view_version = 1;  ///< stamped on auto-answered lookups
   std::vector<NodeRef> group;
   std::vector<LookupRequest> lookups;
   std::vector<AbdReadMsg> reads;
   std::vector<AbdWriteMsg> writes;
   std::vector<AbdReadAckMsg> replica_read_acks;
   std::vector<AbdWriteAckMsg> replica_write_acks;
+  std::vector<AbdNackMsg> replica_nacks;
+  std::vector<ViewPromiseMsg> promises;
 };
 
 class World : public ComponentDefinition {
@@ -89,6 +124,7 @@ class World : public ComponentDefinition {
     timer.control()->trigger(make_event<SimTimer::Init>(core));
 
     connect(abd.required<Router>(), harness.provided<Router>());
+    connect(abd.required<Ring>(), harness.provided<Ring>());
     connect(abd.required<net::Network>(), harness.provided<net::Network>());
     connect(abd.required<timing::Timer>(), timer.provided<timing::Timer>());
 
@@ -96,6 +132,8 @@ class World : public ComponentDefinition {
                            [this](const PutResponse& r) { put_responses.push_back(r); });
     subscribe<GetResponse>(abd.provided<PutGet>(),
                            [this](const GetResponse& r) { get_responses.push_back(r); });
+    subscribe<StatusResponse>(abd.provided<Status>(),
+                              [this](const StatusResponse& r) { statuses.push_back(r); });
   }
 
   void put(OpId id, RingKey key, Value v) {
@@ -104,13 +142,18 @@ class World : public ComponentDefinition {
   void get(OpId id, RingKey key) {
     trigger(make_event<GetRequest>(id, key), abd.provided<PutGet>());
   }
+  void request_status(std::uint64_t id) {
+    trigger(make_event<StatusRequest>(id), abd.provided<Status>());
+  }
 
   Harness& h() { return harness.definition_as<Harness>(); }
+  ConsistentABD& abd_def() { return abd.definition_as<ConsistentABD>(); }
 
   NodeRef self;
   Component abd, harness, timer;
   std::vector<PutResponse> put_responses;
   std::vector<GetResponse> get_responses;
+  std::vector<StatusResponse> statuses;
 };
 
 struct AbdFixture : ::testing::Test {
@@ -134,6 +177,7 @@ TEST_F(AbdFixture, PutRunsReadThenWritePhaseAndAcksAtQuorum) {
   world->put(1, 555, Value{1});
   step();
   ASSERT_EQ(world->h().reads.size(), 3u) << "read phase queries the whole group";
+  EXPECT_EQ(world->h().reads[0].view, 1u) << "phases carry the lookup's view version";
 
   // Two read acks (= quorum of 3) with empty replicas.
   world->h().read_ack(world->h().reads[0], VersionTag{}, false, {}, Address::node(10));
@@ -259,21 +303,38 @@ TEST_F(AbdFixture, ExhaustedRetriesFailTheOperation) {
   EXPECT_EQ(world->h().lookups.size(), 3u);
 }
 
+TEST_F(AbdFixture, UnversionedLookupAnswersNeverStartQuorumPhases) {
+  // A group resolved without an installed view (view_version 0) is exactly
+  // the split-brain window: the coordinator must wait and retry, not run
+  // ABD phases against it.
+  world->h().view_version = 0;
+  world->put(8, 13, Value{2});
+  sim.run_until(sim.now() + 5000);
+  EXPECT_TRUE(world->h().reads.empty());
+  EXPECT_TRUE(world->h().writes.empty());
+  ASSERT_EQ(world->put_responses.size(), 1u);
+  EXPECT_FALSE(world->put_responses[0].ok);
+}
+
 TEST_F(AbdFixture, ReplicaAppliesOnlyNewerTags) {
   auto& h = world->h();
   const Address peer = Address::node(99);
   const Address self = world->self.addr;
   const OpId foreign_op = 0xABC0000;  // never collides with local internal ids
 
+  // The replica serves phases only under an installed view it is a member of.
+  h.install_view(self, GroupView{0, 0, 1, {world->self}});
+  step();
+
   // A remote coordinator writes (tag 5) then a stale (tag 3): the replica
   // must keep the newer value, and must ack both writes regardless.
-  h.inject_replica_write(peer, self, foreign_op + 1, 77, VersionTag{5, 1}, Value{0x55});
+  h.inject_replica_write(peer, self, foreign_op + 1, 77, 1, VersionTag{5, 1}, Value{0x55});
   step();
-  h.inject_replica_read(peer, self, foreign_op + 2, 77);
+  h.inject_replica_read(peer, self, foreign_op + 2, 77, 1);
   step();
-  h.inject_replica_write(peer, self, foreign_op + 3, 77, VersionTag{3, 9}, Value{0x33});
+  h.inject_replica_write(peer, self, foreign_op + 3, 77, 1, VersionTag{3, 9}, Value{0x33});
   step();
-  h.inject_replica_read(peer, self, foreign_op + 4, 77);
+  h.inject_replica_read(peer, self, foreign_op + 4, 77, 1);
   step();
 
   ASSERT_EQ(h.replica_write_acks.size(), 2u) << "replicas ack every write";
@@ -284,13 +345,151 @@ TEST_F(AbdFixture, ReplicaAppliesOnlyNewerTags) {
   EXPECT_EQ(h.replica_read_acks[1].value, Value{0x55});
 
   // And a newer tag does overwrite.
-  h.inject_replica_write(peer, self, foreign_op + 5, 77, VersionTag{8, 2}, Value{0x88});
+  h.inject_replica_write(peer, self, foreign_op + 5, 77, 1, VersionTag{8, 2}, Value{0x88});
   step();
-  h.inject_replica_read(peer, self, foreign_op + 6, 77);
+  h.inject_replica_read(peer, self, foreign_op + 6, 77, 1);
   step();
   ASSERT_EQ(h.replica_read_acks.size(), 3u);
   EXPECT_EQ(h.replica_read_acks[2].tag, (VersionTag{8, 2}));
   EXPECT_EQ(h.replica_read_acks[2].value, Value{0x88});
+}
+
+// ---- satellite regressions -------------------------------------------------
+
+TEST_F(AbdFixture, MissingKeyReadStormDoesNotGrowStore) {
+  // Pre-fix, the replica read path did store_[key] and default-inserted an
+  // empty replica per miss: a storm of reads for absent keys grew the store
+  // without bound. Reads must answer exists=false without inserting.
+  auto& h = world->h();
+  const Address peer = Address::node(99);
+  const Address self = world->self.addr;
+  h.install_view(self, GroupView{0, 0, 1, {world->self}});
+  step();
+
+  for (OpId i = 0; i < 64; ++i) {
+    h.inject_replica_read(peer, self, 0xBEE0000 + i, /*key=*/5000 + i, /*view=*/1);
+  }
+  step();
+  ASSERT_EQ(h.replica_read_acks.size(), 64u) << "every read is answered";
+  for (const auto& ack : h.replica_read_acks) EXPECT_FALSE(ack.exists);
+
+  EXPECT_EQ(world->abd_def().store_size(), 0u) << "reads must not insert";
+  world->request_status(1);
+  step();
+  ASSERT_EQ(world->statuses.size(), 1u);
+  EXPECT_EQ(world->statuses[0].fields.at("store_size"), "0")
+      << "store growth is observable via the Status surface";
+}
+
+TEST_F(AbdFixture, DuplicatedAcksFromOneReplicaDoNotCompleteQuorum) {
+  // Pre-fix, quorum progress was a raw counter (++acks): a duplicated
+  // delivery of one replica's ack (retransmitting transports do that) could
+  // "complete" a 2-of-3 quorum with a single replica's answer.
+  world->put(9, 21, Value{4});
+  step();
+  ASSERT_EQ(world->h().reads.size(), 3u);
+
+  world->h().read_ack(world->h().reads[0], VersionTag{}, false, {}, Address::node(10));
+  world->h().read_ack(world->h().reads[0], VersionTag{}, false, {}, Address::node(10));
+  world->h().read_ack(world->h().reads[0], VersionTag{}, false, {}, Address::node(10));
+  step();
+  EXPECT_TRUE(world->h().writes.empty())
+      << "three copies of one replica's read ack are not a quorum";
+
+  world->h().read_ack(world->h().reads[1], VersionTag{}, false, {}, Address::node(20));
+  step();
+  ASSERT_EQ(world->h().writes.size(), 3u) << "a second distinct replica completes the quorum";
+
+  world->h().write_ack(world->h().writes[0], Address::node(10));
+  world->h().write_ack(world->h().writes[0], Address::node(10));
+  step();
+  EXPECT_TRUE(world->put_responses.empty())
+      << "duplicated write acks from one replica are not a quorum";
+  world->h().write_ack(world->h().writes[1], Address::node(20));
+  step();
+  ASSERT_EQ(world->put_responses.size(), 1u);
+  EXPECT_TRUE(world->put_responses[0].ok);
+}
+
+TEST_F(AbdFixture, AcksUnderMismatchedViewAreDroppedAndCounted) {
+  world->put(10, 22, Value{5});
+  step();
+  ASSERT_EQ(world->h().reads.size(), 3u);
+
+  // Acks stamped with a different view version than the op's: dropped.
+  world->h().read_ack_with_view(world->h().reads[0], /*view=*/2, Address::node(10));
+  world->h().read_ack_with_view(world->h().reads[1], /*view=*/2, Address::node(20));
+  step();
+  EXPECT_TRUE(world->h().writes.empty());
+  EXPECT_EQ(world->abd_def().counters().stale_view_acks_dropped, 2u);
+
+  // Matching acks complete the phase as usual.
+  world->h().read_ack(world->h().reads[0], VersionTag{}, false, {}, Address::node(10));
+  world->h().read_ack(world->h().reads[1], VersionTag{}, false, {}, Address::node(20));
+  step();
+  EXPECT_EQ(world->h().writes.size(), 3u);
+}
+
+TEST_F(AbdFixture, ReplicaGateNacksWrongViewsAndFencedRanges) {
+  auto& h = world->h();
+  const Address peer = Address::node(99);
+  const Address self = world->self.addr;
+
+  // No installed view at all: nack with current_version 0.
+  h.inject_replica_read(peer, self, 0xCAF0001, 77, 1);
+  step();
+  ASSERT_EQ(h.replica_nacks.size(), 1u);
+  EXPECT_EQ(h.replica_nacks[0].current_version, 0u);
+
+  h.install_view(self, GroupView{0, 0, 3, {world->self}});
+  step();
+
+  // Wrong view version: nack names the installed version.
+  h.inject_replica_read(peer, self, 0xCAF0002, 77, 2);
+  step();
+  ASSERT_EQ(h.replica_nacks.size(), 2u);
+  EXPECT_EQ(h.replica_nacks[1].current_version, 3u);
+
+  // Matching version: served.
+  h.inject_replica_read(peer, self, 0xCAF0003, 77, 3);
+  step();
+  EXPECT_EQ(h.replica_read_acks.size(), 1u);
+
+  // A Prepare for the next version fences the range: even correctly
+  // versioned phases are refused from then on (this is what guarantees a
+  // majority-promised old view can never assemble another quorum).
+  h.prepare(self, 0, 0, /*target=*/4, Ballot{7, 42});
+  step();
+  ASSERT_EQ(h.promises.size(), 1u);
+  EXPECT_TRUE(h.promises[0].ok);
+  h.inject_replica_read(peer, self, 0xCAF0004, 77, 3);
+  step();
+  EXPECT_EQ(h.replica_read_acks.size(), 1u) << "fenced range must not serve reads";
+  ASSERT_EQ(h.replica_nacks.size(), 3u);
+  EXPECT_EQ(world->abd_def().counters().view_fences, 1u);
+}
+
+TEST_F(AbdFixture, NackMajorityTriggersFastRetryAfterBackoff) {
+  world->put(11, 23, Value{6});
+  step();
+  ASSERT_EQ(world->h().reads.size(), 3u);
+  const auto lookups_before = world->h().lookups.size();
+
+  // Two of three replicas refuse the view: a quorum can never form under
+  // it, so the coordinator retries after the short fast-retry backoff
+  // (50 ms) instead of waiting out the 1000 ms op timeout. The backoff
+  // matters: an instant retry would exhaust every attempt inside the fence
+  // window of a single in-flight view change.
+  world->h().nack(world->h().reads[0], 9, Address::node(10));
+  world->h().nack(world->h().reads[1], 9, Address::node(20));
+  step();
+  EXPECT_EQ(world->abd_def().counters().fast_retries, 1u);
+  EXPECT_EQ(world->h().lookups.size(), lookups_before)
+      << "the retry waits out the backoff (the view change may still land)";
+
+  sim.run_until(sim.now() + 100);  // past the backoff, far under the op timeout
+  EXPECT_GT(world->h().lookups.size(), lookups_before) << "fast retry re-resolves the group";
+  EXPECT_GE(world->h().reads.size(), 6u) << "fresh read phase went out";
 }
 
 }  // namespace

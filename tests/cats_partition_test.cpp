@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cats/abd.hpp"
 #include "cats/cats_simulator.hpp"
 #include "cats/linearizability.hpp"
 #include "sim/simulation.hpp"
@@ -96,17 +97,28 @@ TEST(CatsPartition, IsolatedCoordinatorFailsCleanlyAndRecovers) {
   EXPECT_TRUE(lin.linearizable) << lin.explanation;
 }
 
-TEST(CatsPartition, HistoryAcrossPartitionIsLinearizable) {
+TEST(CatsPartition, PartialPartitionCannotCommitOnBothSides) {
+  // The consistent-quorum regression test. Pre-fix, ABD quorums were drawn
+  // from whatever successor list each side's ring converged to, so a partial
+  // partition let BOTH sides assemble a "quorum" for the same key and commit
+  // divergent writes. With versioned views, the key's replica group {10,20,30}
+  // splits so that only the {10,20} side retains a majority of the installed
+  // view; the {30,40,50} side can never fence that view's majority, so every
+  // write it coordinates must fail — there is one view lineage, never two.
   PartitionWorld w;
   const RingKey k = hash_to_ring("qq");
   int vc = 0;
   w.cats->put(10, k, Value{static_cast<std::uint8_t>(++vc)});
   w.settle(2000);
+  ASSERT_TRUE(w.cats->history()[0].ok);
 
-  // Partition 2 vs 3 nodes; fire ops from both sides, heal, fire more.
+  // Partition 2 vs 3 nodes. Let each side's ring converge on itself first —
+  // only then does the minority side answer lookups from its own successor
+  // list, which is the divergence window the view gate must close.
   w.hub->partition({{PartitionWorld::host(10), PartitionWorld::host(20)},
                     {1, PartitionWorld::host(30), PartitionWorld::host(40),
                      PartitionWorld::host(50)}});
+  w.settle(6000);
   w.cats->put(10, k, Value{static_cast<std::uint8_t>(++vc)});
   w.cats->put(40, k, Value{static_cast<std::uint8_t>(++vc)});
   w.cats->get(20, k);
@@ -120,16 +132,17 @@ TEST(CatsPartition, HistoryAcrossPartitionIsLinearizable) {
   w.cats->get(50, k);
   w.settle(5000);
 
-  // KNOWN LIMITATION (documented, DESIGN.md): during a partial partition
-  // both sides can retain ring quorums and commit divergent writes — the
-  // real CATS closes this with consistent quorums [11], which is beyond
-  // this reproduction. What we DO guarantee and test: every operation
-  // terminates (no hangs), the rings merge after healing, and post-merge
-  // reads converge (same value from different coordinators).
-  for (const auto& rec : w.cats->history()) {
+  const auto& h = w.cats->history();
+  for (const auto& rec : h) {
     EXPECT_GE(rec.responded, 0) << "operations must terminate";
   }
-  const auto& h = w.cats->history();
+  // h[1] = put@10 (view-majority side), h[2] = put@40 (minority side). The
+  // minority side holds only one member of the installed view, cannot fence
+  // its majority, and therefore must NOT commit. Pre-fix this put succeeded
+  // against the minority ring's own successor list — the divergent commit.
+  EXPECT_FALSE(h[2].ok)
+      << "a side without a majority of the installed view committed a write";
+  // Post-merge: the healed ring serves again and agrees on one value.
   const auto& read_a = h[h.size() - 2];
   const auto& read_b = h[h.size() - 1];
   ASSERT_TRUE(read_a.ok && read_b.ok) << "post-merge reads must succeed";
@@ -137,6 +150,26 @@ TEST(CatsPartition, HistoryAcrossPartitionIsLinearizable) {
       << "post-merge reads from different coordinators must agree";
   EXPECT_EQ(read_a.got_value, Value{static_cast<std::uint8_t>(vc)})
       << "the post-merge write is the visible value";
+
+  // Zero commits under stale views: the per-node commit counters must match
+  // the history exactly. An ack accepted under a mismatched view or counted
+  // twice from one replica would commit an operation the (linearizable)
+  // history can't account for and break this tally.
+  std::uint64_t puts_ok = 0, gets_ok = 0;
+  for (std::uint64_t id : {10, 20, 30, 40, 50}) {
+    const auto& c = w.cats->node(id).abd.definition_as<ConsistentABD>().counters();
+    puts_ok += c.puts_ok;
+    gets_ok += c.gets_ok;
+  }
+  std::uint64_t hist_puts_ok = 0, hist_gets_ok = 0;
+  for (const auto& rec : h) {
+    if (!rec.ok) continue;
+    (rec.kind == OpRecord::Kind::kPut ? hist_puts_ok : hist_gets_ok) += 1;
+  }
+  EXPECT_EQ(puts_ok, hist_puts_ok);
+  EXPECT_EQ(gets_ok, hist_gets_ok);
+  const auto lin = check_history(h);
+  EXPECT_TRUE(lin.linearizable) << lin.explanation;
 }
 
 }  // namespace

@@ -42,14 +42,20 @@ class Harness : public ComponentDefinition {
     trigger(make_event<RouteLookupMsg>(from, to, origin, op, key, 3, ttl), network_);
   }
   void inject_result(Address from, Address to, OpId op, RingKey key,
-                     std::vector<NodeRef> group) {
-    trigger(make_event<LookupResultMsg>(from, to, op, key, std::move(group)), network_);
+                     std::vector<NodeRef> group, std::uint64_t view_version = 0) {
+    trigger(make_event<LookupResultMsg>(from, to, op, key, std::move(group), view_version),
+            network_);
+  }
+  /// Publish an installed quorum view, as the local ABD's view manager does.
+  void publish_view(GroupView view) {
+    trigger(make_event<ViewUpdate>(std::move(view)), views_);
   }
 
   Positive<Router> router_ = require<Router>();
   Negative<Ring> ring_ = provide<Ring>();
   Negative<NodeSampling> sampling_ = provide<NodeSampling>();
   Negative<net::Network> network_ = provide<net::Network>();
+  Negative<QuorumViews> views_ = provide<QuorumViews>();
 
   std::vector<LookupResponse> responses;
   std::vector<RouteLookupMsg> forwarded;
@@ -69,6 +75,7 @@ class World : public ComponentDefinition {
     connect(router.required<Ring>(), harness.provided<Ring>());
     connect(router.required<NodeSampling>(), harness.provided<NodeSampling>());
     connect(router.required<net::Network>(), harness.provided<net::Network>());
+    connect(router.required<QuorumViews>(), harness.provided<QuorumViews>());
   }
   Harness& h() { return harness.definition_as<Harness>(); }
   OneHopRouter& r() { return router.definition_as<OneHopRouter>(); }
@@ -109,6 +116,38 @@ TEST_F(RouterFixture, AuthoritativeAnswerUsesRingSuccessorList) {
   EXPECT_EQ(g[0].key, world->self.key) << "responsible node heads the group";
   EXPECT_EQ(g[1].key, node(60).key);
   EXPECT_EQ(g[2].key, node(70).key);
+  EXPECT_EQ(world->h().responses[0].view_version, 0u)
+      << "a ring-successor fallback answer carries no view version";
+}
+
+TEST_F(RouterFixture, AuthoritativeAnswerPrefersInstalledView) {
+  world->h().view(world->self, true, node(40), {node(60), node(70), node(80)});
+  world->h().publish_view(GroupView{node(40).key, node(50).key, 7,
+                                    {world->self, node(60), node(70)}});
+  step();
+  world->h().lookup(2, (45ull << 48), 3);
+  step();
+  ASSERT_EQ(world->h().responses.size(), 1u);
+  EXPECT_EQ(world->h().responses[0].view_version, 7u)
+      << "answers are stamped with the installed view's version";
+  ASSERT_EQ(world->h().responses[0].group.size(), 3u);
+  EXPECT_EQ(world->h().responses[0].group[0].key, world->self.key);
+}
+
+TEST_F(RouterFixture, NewerViewSupersedesCachedOlderOne) {
+  world->h().view(world->self, true, node(40), {node(60), node(70)});
+  world->h().publish_view(GroupView{node(40).key, node(50).key, 7,
+                                    {world->self, node(60), node(70)}});
+  // A member change to version 8 drops node(70) for node(80).
+  world->h().publish_view(GroupView{node(40).key, node(50).key, 8,
+                                    {world->self, node(60), node(80)}});
+  step();
+  world->h().lookup(3, (45ull << 48), 3);
+  step();
+  ASSERT_EQ(world->h().responses.size(), 1u);
+  EXPECT_EQ(world->h().responses[0].view_version, 8u);
+  ASSERT_EQ(world->h().responses[0].group.size(), 3u);
+  EXPECT_EQ(world->h().responses[0].group[2].key, node(80).key);
 }
 
 TEST_F(RouterFixture, LoneRingIsResponsibleForEverything) {

@@ -126,7 +126,9 @@ class FakeStatusProvider : public ComponentDefinition {
     subscribe<cats::StatusRequest>(status_, [this](const cats::StatusRequest& req) {
       trigger(make_event<cats::StatusResponse>(
                   req.id, "FakeComponent",
-                  std::map<std::string, std::string>{{"answer", "fortytwo"}}),
+                  std::map<std::string, std::string>{{"answer", "fortytwo"},
+                                                     {"ring_epoch", "7"},
+                                                     {"views_installed", "3"}}),
               status_);
     });
   }
@@ -161,6 +163,22 @@ TEST(CatsWebApp, RendersComponentStatusTables) {
   EXPECT_NE(reply.find("FakeComponent"), std::string::npos);
   EXPECT_NE(reply.find("fortytwo"), std::string::npos);
   EXPECT_NE(reply.find("node-7"), std::string::npos);
+}
+
+TEST(CatsWebApp, ServesProtocolCountersAsPrometheusMetrics) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  auto main = rt->bootstrap<CatsWebMain>(net::Address::loopback(0));
+  rt->await_quiescence();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  auto& server = main.definition_as<CatsWebMain>().server.definition_as<HttpServer>();
+  const std::string reply = http_get(0x7f000001, server.port(), "/metrics");
+  EXPECT_NE(reply.find("text/plain"), std::string::npos);
+  // Numeric status fields become labelled Prometheus samples...
+  EXPECT_NE(reply.find("cats_fakecomponent_ring_epoch{node=\"7\"} 7"), std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("cats_fakecomponent_views_installed{node=\"7\"} 3"), std::string::npos);
+  // ...while string-valued fields stay off the metrics surface.
+  EXPECT_EQ(reply.find("fortytwo"), std::string::npos);
 }
 
 }  // namespace
