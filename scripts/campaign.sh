@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Simulation campaign driver (replaces the old partition_sweep.sh).
+#
+# One command to run the seed-sweep campaign: every seed expands to a
+# generated fault schedule (partial partitions, churn, timer skew, message
+# loss/duplication/reordering), replays it on the deterministic simulator,
+# and checks the history with the Wing & Gong linearizability checker plus
+# the per-component invariants. Failing seeds are shrunk to a minimal
+# replayable schedule artifact and the exact repro command is printed.
+#
+# Usage:
+#   scripts/campaign.sh [BUILD_DIR] [--seeds N] [--jobs J] [--seed N] [ARGS...]
+#
+#   BUILD_DIR   build tree containing the campaign_runner binary (default: build)
+#   --seeds N   sweep seeds 1..N                        (default: 50, the
+#               same smoke preset the `campaign` ctest label runs on PRs)
+#   --seed N    run a single seed verbosely (add --shrink to minimize)
+#   --jobs J    parallel worker processes               (default: nproc)
+#   anything else is passed through to campaign_runner (--start, --out,
+#   --replay FILE, --shrink, --print-schedule, ...)
+#
+# Typical runs:
+#   scripts/campaign.sh                          # 50-seed smoke sweep
+#   scripts/campaign.sh build --seeds 2000       # the nightly-sized sweep
+#   scripts/campaign.sh build-tsan --seeds 50 --jobs 1   # under TSan
+#   scripts/campaign.sh build --seed 17 --shrink # one failing seed, minimized
+#   scripts/campaign.sh build --replay campaign-out/seed17-min.schedule
+
+set -euo pipefail
+
+BUILD_DIR="build"
+ARGS=()
+HAVE_MODE=0
+HAVE_JOBS=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --seeds|--seed|--replay)
+      HAVE_MODE=1
+      ARGS+=("$1" "$2")
+      shift 2
+      ;;
+    --jobs)
+      HAVE_JOBS=1
+      ARGS+=("$1" "$2")
+      shift 2
+      ;;
+    --start|--out)
+      ARGS+=("$1" "$2")
+      shift 2
+      ;;
+    -h|--help)
+      sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    --*)
+      ARGS+=("$1")
+      shift
+      ;;
+    *)
+      BUILD_DIR="$1"
+      shift
+      ;;
+  esac
+done
+
+RUNNER="$BUILD_DIR/src/testkit/campaign_runner"
+if [[ ! -x "$RUNNER" ]]; then
+  echo "error: $RUNNER not found (configure and build first:" >&2
+  echo "  cmake --preset default && cmake --build --preset default)" >&2
+  exit 1
+fi
+
+if [[ $HAVE_MODE -eq 0 ]]; then
+  ARGS+=(--seeds 50)
+fi
+if [[ $HAVE_JOBS -eq 0 ]]; then
+  ARGS+=(--jobs "$(nproc 2>/dev/null || echo 4)")
+fi
+
+exec "$RUNNER" "${ARGS[@]}"

@@ -50,12 +50,14 @@ ConsistentABD::ConsistentABD() {
       return;  // not ours (shared Router port) or a stale attempt
     }
     Op& op = it->second;
-    if (resp.group.empty() || resp.view_version == 0) {
+    if (resp.group.empty() ||
+        (resp.view_version == 0 && !params_.inject_stale_view_bug)) {
       // Ring not converged around the key, or the responsible node has no
       // installed view yet; the armed op timeout will retry with a fresh
       // lookup. An unversioned group must never run quorum phases: that is
       // exactly the window where two sides of a partition could each
-      // assemble an (inconsistent) quorum.
+      // assemble an (inconsistent) quorum. (The inject_stale_view_bug
+      // emulation deliberately re-opens that window, params.hpp.)
       return;
     }
     op.group = resp.group;
@@ -80,8 +82,9 @@ ConsistentABD::ConsistentABD() {
 
   subscribe<AbdReadMsg>(network_, [this](const AbdReadMsg& msg) {
     const RangeState* r = covering_range(msg.key);
-    if (r == nullptr || r->fenced || r->view.version != msg.view ||
-        !r->view.has_member(self_.addr)) {
+    if (!params_.inject_stale_view_bug &&
+        (r == nullptr || r->fenced || r->view.version != msg.view ||
+         !r->view.has_member(self_.addr))) {
       replica_nack(msg.source(), msg.op, msg.key);
       return;
     }
@@ -98,8 +101,9 @@ ConsistentABD::ConsistentABD() {
 
   subscribe<AbdWriteMsg>(network_, [this](const AbdWriteMsg& msg) {
     const RangeState* r = covering_range(msg.key);
-    if (r == nullptr || r->fenced || r->view.version != msg.view ||
-        !r->view.has_member(self_.addr)) {
+    if (!params_.inject_stale_view_bug &&
+        (r == nullptr || r->fenced || r->view.version != msg.view ||
+         !r->view.has_member(self_.addr))) {
       replica_nack(msg.source(), msg.op, msg.key);
       return;
     }
@@ -125,8 +129,11 @@ ConsistentABD::ConsistentABD() {
     }
     Op& op = it->second;
     if (ack.view != op.view) {
-      ++counters_.stale_view_acks_dropped;
-      return;
+      if (!params_.inject_stale_view_bug) {
+        ++counters_.stale_view_acks_dropped;
+        return;
+      }
+      note_mixed_view_ack(it->first, op, ack.view);
     }
     if (!note_address(op.acked, ack.source())) return;  // duplicated delivery
     if (op.max_tag < ack.tag || (!op.max_exists && ack.exists)) {
@@ -152,8 +159,11 @@ ConsistentABD::ConsistentABD() {
     }
     Op& op = it->second;
     if (ack.view != op.view) {
-      ++counters_.stale_view_acks_dropped;
-      return;
+      if (!params_.inject_stale_view_bug) {
+        ++counters_.stale_view_acks_dropped;
+        return;
+      }
+      note_mixed_view_ack(it->first, op, ack.view);
     }
     if (!note_address(op.acked, ack.source())) return;  // duplicated delivery
     if (op.acked.size() >= op.quorum) finish_op(it->first, op, true);
@@ -532,6 +542,46 @@ bool ConsistentABD::note_address(std::vector<Address>& v, const Address& a) {
   if (std::find(v.begin(), v.end(), a) != v.end()) return false;
   v.push_back(a);
   return true;
+}
+
+void ConsistentABD::note_mixed_view_ack(OpId internal, const Op& op, std::uint64_t ack_view) {
+  if (recorded_violations_.size() >= 64) return;  // bounded; first hits matter
+  recorded_violations_.push_back(
+      "abd: op " + std::to_string(internal) + " (key " + std::to_string(op.key) +
+      ") counted an ack under view v" + std::to_string(ack_view) +
+      " but was coordinated under v" + std::to_string(op.view) +
+      " — quorum mixes replica views");
+}
+
+std::vector<std::string> ConsistentABD::invariant_violations() const {
+  std::vector<std::string> out = recorded_violations_;
+  // Installed views must partition the key space: every range's own hi key
+  // must be covered by no other installed range (overlap means two replica
+  // groups both believe they own a key — the divergence precondition).
+  for (const auto& [hi, r] : ranges_) {
+    for (const auto& [other_hi, other] : ranges_) {
+      if (other_hi != hi && other.view.covers(hi) && r.view.covers(other_hi)) {
+        out.push_back("abd: installed views overlap: (" + std::to_string(r.view.lo) + ", " +
+                      std::to_string(hi) + "]@v" + std::to_string(r.view.version) + " and (" +
+                      std::to_string(other.view.lo) + ", " + std::to_string(other_hi) + "]@v" +
+                      std::to_string(other.view.version));
+      }
+    }
+  }
+  // No in-flight op may hold more (deduplicated) acks than its group has
+  // members, and its quorum must be a majority of that group.
+  for (const auto& [id, op] : ops_) {
+    if (!op.group.empty() && op.acked.size() > op.group.size()) {
+      out.push_back("abd: op " + std::to_string(id) + " holds " +
+                    std::to_string(op.acked.size()) + " acks from a group of " +
+                    std::to_string(op.group.size()));
+    }
+    if (!op.group.empty() && op.quorum != op.group.size() / 2 + 1) {
+      out.push_back("abd: op " + std::to_string(id) + " quorum " + std::to_string(op.quorum) +
+                    " is not a majority of its group of " + std::to_string(op.group.size()));
+    }
+  }
+  return out;
 }
 
 void ConsistentABD::replica_nack(const Address& to, OpId op, RingKey key) {

@@ -80,6 +80,14 @@ class ConsistentABD : public ComponentDefinition {
   /// Installed view covering `key`, if any (tests / introspection).
   std::optional<GroupView> view_covering(RingKey key) const;
 
+  /// Protocol invariants for the campaign harness (ISSUE 7): recorded
+  /// violations (an op counting acks under a view other than the one it was
+  /// coordinated under — the exact PR 6 bug class) plus on-demand checks of
+  /// the current state (installed views must partition the key space
+  /// disjointly; no in-flight op may hold more acks than group members).
+  /// Empty on every healthy run; the campaign runner polls this per node.
+  std::vector<std::string> invariant_violations() const;
+
  private:
   struct Replica {
     VersionTag tag{};
@@ -181,6 +189,9 @@ class ConsistentABD : public ComponentDefinition {
   OpId fresh_id() { return next_op_++; }
   /// Dedup-insert `a` into `v`; true if newly inserted.
   static bool note_address(std::vector<Address>& v, const Address& a);
+  /// Records the mixed-view-quorum invariant violation (only reachable with
+  /// params_.inject_stale_view_bug — the healthy coordinator drops the ack).
+  void note_mixed_view_ack(OpId internal, const Op& op, std::uint64_t ack_view);
 
   // ---- view manager ----------------------------------------------------
 
@@ -214,6 +225,7 @@ class ConsistentABD : public ComponentDefinition {
   std::unordered_map<OpId, Op> ops_;  // keyed by internal op id
   OpId next_op_ = 1;
   Counters counters_;
+  std::vector<std::string> recorded_violations_;
 
   // Cached ring neighborhood (drives reconfiguration proposals).
   bool ring_view_received_ = false;

@@ -135,6 +135,26 @@ std::size_t CatsSimulator::ready_count() const {
   return n;
 }
 
+sim::SimTimer& CatsSimulator::node_timer(std::uint64_t node_id) {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) throw std::out_of_range("no such node");
+  return it->second.timer.definition_as<sim::SimTimer>();
+}
+
+std::vector<std::string> CatsSimulator::invariant_violations() const {
+  std::vector<std::string> out;
+  for (const auto& [id, h] : nodes_) {
+    const CatsNode& n = h.node.definition_as<CatsNode>();
+    auto collect = [&](const std::vector<std::string>& vs) {
+      for (const std::string& v : vs) out.push_back("node " + std::to_string(id) + ": " + v);
+    };
+    collect(n.abd.definition_as<ConsistentABD>().invariant_violations());
+    collect(n.ring.definition_as<CatsRing>().invariant_violations());
+    collect(n.router.definition_as<OneHopRouter>().invariant_violations());
+  }
+  return out;
+}
+
 std::optional<std::uint64_t> CatsSimulator::random_alive() {
   if (nodes_.empty()) return std::nullopt;
   const std::uint64_t idx = rng().next_below(nodes_.size());

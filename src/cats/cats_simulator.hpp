@@ -126,6 +126,14 @@ class CatsSimulator : public ComponentDefinition {
   std::size_t ready_count() const;
   const sim::SimNetworkHub& hub() const { return *hub_; }
 
+  /// The node's SimTimer (campaign harness: timer-skew fault injection).
+  sim::SimTimer& node_timer(std::uint64_t node_id);
+
+  /// Sweeps every alive node's per-component invariants (ABD, ring, router;
+  /// ISSUE 7) and returns all violations, prefixed with the node id. Empty
+  /// on healthy runs — the campaign runner checks this after every schedule.
+  std::vector<std::string> invariant_violations() const;
+
   /// Pick a random alive node id (for scenario ops addressed to "any node").
   std::optional<std::uint64_t> random_alive();
 

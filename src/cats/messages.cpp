@@ -140,11 +140,13 @@ void do_register() {
         const auto& fs = static_cast<const FindSuccessorMsg&>(m);
         write_node_ref(w, fs.joiner);
         w.u64(fs.target);
+        w.u32(fs.hops_left);
       },
       [](BufferReader& r, Address s, Address d) -> MessagePtr {
         NodeRef joiner = read_node_ref(r);
         const RingKey target = r.u64();
-        return std::make_shared<const FindSuccessorMsg>(s, d, joiner, target);
+        const std::uint32_t hops_left = r.u32();
+        return std::make_shared<const FindSuccessorMsg>(s, d, joiner, target, hops_left);
       });
 
   reg.register_message<FoundSuccessorMsg>(

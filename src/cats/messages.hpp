@@ -91,15 +91,21 @@ class ShuffleResponseMsg : public Message {
 
 // ---- ring maintenance --------------------------------------------------------
 
-/// Iteratively routed join lookup: find the successor of `target`.
+/// Iteratively routed join lookup: find the successor of `target`. The hop
+/// budget bounds forwarding: successor lists disagree while a partition
+/// heals, so the "monotonic progress" forwarding rule can cycle — and on a
+/// duplicating link an unbounded cycle is an exponential message storm
+/// (campaign finding, seeds 565/805/940/1915). An exhausted budget drops the
+/// lookup; the joiner's retry timer issues a fresh one.
 class FindSuccessorMsg : public Message {
   KOMPICS_EVENT(FindSuccessorMsg, Message);
 
  public:
-  FindSuccessorMsg(Address s, Address d, NodeRef joiner, RingKey target)
-      : Message(s, d), joiner(joiner), target(target) {}
+  FindSuccessorMsg(Address s, Address d, NodeRef joiner, RingKey target, std::uint32_t hops_left)
+      : Message(s, d), joiner(joiner), target(target), hops_left(hops_left) {}
   NodeRef joiner;
   RingKey target;
+  std::uint32_t hops_left;
 };
 
 class FoundSuccessorMsg : public Message {

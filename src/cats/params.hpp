@@ -58,6 +58,18 @@ struct CatsParams {
 
   // Monitoring.
   DurationMs monitor_period_ms = 5000;
+
+  // Fault injection for the campaign harness' own regression test
+  // (tests/campaign_shrink_test.cpp): re-opens the pre-consistent-quorums
+  // divergence window that PR 6 closed. With this set, replicas acknowledge
+  // ABD phase messages regardless of view version/fencing/membership,
+  // coordinators accept unversioned lookups and count stale-view acks
+  // toward quorums, and the router bypasses its installed-view cache —
+  // exactly the "gate disabled" emulation measured in EXPERIMENTS.md
+  // (13/50 sweep seeds produce divergent commits). MUST stay false outside
+  // the harness self-test; the campaign asserts it catches and shrinks the
+  // resulting violations.
+  bool inject_stale_view_bug = false;
 };
 
 }  // namespace kompics::cats

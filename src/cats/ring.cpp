@@ -88,8 +88,10 @@ CatsRing::CatsRing() {
               network_);
       return;
     }
+    if (msg.hops_left == 0) return;  // hop budget spent: drop, joiner retries
     // Forward to the farthest successor that still precedes the target
-    // (monotonic progress along the ring).
+    // (monotonic progress along the ring — but only while successor lists
+    // agree, hence the hop budget above).
     NodeRef next = succs_[0];
     for (const auto& s : succs_) {
       if (in_interval_oo(self_.key, msg.target, s.key)) {
@@ -98,7 +100,8 @@ CatsRing::CatsRing() {
         break;
       }
     }
-    trigger(make_event<FindSuccessorMsg>(self_.addr, next.addr, msg.joiner, msg.target),
+    trigger(make_event<FindSuccessorMsg>(self_.addr, next.addr, msg.joiner, msg.target,
+                                         msg.hops_left - 1),
             network_);
   });
 
@@ -151,6 +154,12 @@ CatsRing::CatsRing() {
         changed = true;
       } else if (in_interval_oo(self_.key, succs_[0].key, n.key) &&
                  n.addr != succs_[0].addr) {
+        // After churn the tail of the list can be stale enough that n
+        // already sits deeper in it — drop that entry before promoting,
+        // or the list ends up holding the node twice.
+        succs_.erase(std::remove_if(succs_.begin(), succs_.end(),
+                                    [&n](const NodeRef& s) { return s.addr == n.addr; }),
+                     succs_.end());
         succs_.insert(succs_.begin(), n);
         if (succs_.size() > params_.successor_list_size) succs_.pop_back();
         changed = true;
@@ -215,7 +224,9 @@ void CatsRing::send_join_lookup() {
                                        OneHopRouter::kMaxHops),
             network_);
   } else {
-    trigger(make_event<FindSuccessorMsg>(self_.addr, contact, self_, self_.key), network_);
+    trigger(make_event<FindSuccessorMsg>(self_.addr, contact, self_, self_.key,
+                                         OneHopRouter::kMaxHops),
+            network_);
   }
   trigger(timing::schedule<JoinRetry>(params_.stabilization_period_ms / 2 + 1), timer_);
 }
@@ -226,7 +237,10 @@ void CatsRing::complete_join(const std::vector<NodeRef>& group) {
   lone_ = false;
   succs_.clear();
   for (const auto& n : group) {
-    if (n.addr != self_.addr) succs_.push_back(n);
+    if (n.addr == self_.addr) continue;
+    const bool dup = std::any_of(succs_.begin(), succs_.end(),
+                                 [&n](const NodeRef& s) { return s.addr == n.addr; });
+    if (!dup) succs_.push_back(n);  // lookup answers may repeat the head
   }
   if (!succs_.empty()) {
     trigger(make_event<NotifyMsg>(self_.addr, succs_[0].addr, self_), network_);

@@ -9,6 +9,7 @@
 // intervals, replica groups) and RingReady once the join completes.
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "cats/messages.hpp"
@@ -38,6 +39,24 @@ class CatsRing : public ComponentDefinition {
   const NodeRef& predecessor() const { return pred_; }
   bool ready() const { return ready_; }
   std::uint64_t epoch() const { return epoch_; }
+
+  /// Campaign-harness invariants (ISSUE 7): the successor list never
+  /// contains this node itself and never holds duplicate addresses. Empty
+  /// on healthy runs.
+  std::vector<std::string> invariant_violations() const {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < succs_.size(); ++i) {
+      if (succs_[i].addr == self_.addr) {
+        out.push_back("ring: successor list contains self at index " + std::to_string(i));
+      }
+      for (std::size_t j = i + 1; j < succs_.size(); ++j) {
+        if (succs_[i].addr == succs_[j].addr) {
+          out.push_back("ring: duplicate successor " + succs_[i].addr.to_string());
+        }
+      }
+    }
+    return out;
+  }
 
  private:
   struct StabilizeRound : timing::Timeout {

@@ -114,12 +114,33 @@ bool OneHopRouter::responsible_for(RingKey key) const {
 }
 
 const GroupView* OneHopRouter::covering_view(RingKey key) const {
+  // Bug emulation (params.hpp): the pre-consistent-quorums router answered
+  // lookups from the raw ring neighborhood, never from installed views.
+  if (params_.inject_stale_view_bug) return nullptr;
   const GroupView* best = nullptr;
   for (const auto& [hi, v] : views_) {
     if (!v.covers(key)) continue;
     if (best == nullptr || best->version < v.version) best = &v;
   }
   return best;
+}
+
+std::vector<std::string> OneHopRouter::invariant_violations() const {
+  std::vector<std::string> out;
+  // Cached installed views must be mutually disjoint: overlapping cached
+  // views would let two lookups for the same key resolve to different
+  // replica groups (split-brain at the routing layer).
+  for (const auto& [hi, v] : views_) {
+    for (const auto& [other_hi, other] : views_) {
+      if (other_hi != hi && other.covers(hi) && v.covers(other_hi)) {
+        out.push_back("router: cached views overlap: (" + std::to_string(v.lo) + ", " +
+                      std::to_string(hi) + "]@v" + std::to_string(v.version) + " and (" +
+                      std::to_string(other.lo) + ", " + std::to_string(other_hi) + "]@v" +
+                      std::to_string(other.version));
+      }
+    }
+  }
+  return out;
 }
 
 std::vector<NodeRef> OneHopRouter::build_group(RingKey, std::size_t group_size) const {

@@ -44,6 +44,10 @@ class OneHopRouter : public ComponentDefinition {
 
   std::size_t table_size() const { return table_.size(); }
 
+  /// Campaign-harness invariants (ISSUE 7): cached installed views must be
+  /// mutually disjoint. Empty on healthy runs.
+  std::vector<std::string> invariant_violations() const;
+
  private:
   void learn(const NodeRef& n);
   void handle_lookup_at_responsible(const NodeRef& origin, OpId op, RingKey key,

@@ -25,7 +25,7 @@ class SimTimer : public ComponentDefinition {
     subscribe<timing::ScheduleTimeout>(timer_, [this](const timing::ScheduleTimeout& st) {
       const timing::TimeoutId tid = st.timeout_id();
       auto payload = st.payload();
-      pending_[tid] = core_->schedule(st.delay_ms(), [this, tid, payload] {
+      pending_[tid] = core_->schedule(skewed(st.delay_ms()), [this, tid, payload] {
         pending_.erase(tid);
         trigger(payload, timer_);
       });
@@ -51,10 +51,23 @@ class SimTimer : public ComponentDefinition {
     for (const auto& [tid, action] : pending_) core_->cancel(action);
   }
 
+  /// Clock-skew fault injection (campaign harness): all subsequently armed
+  /// delays are scaled by skew_permille/1000 — a node whose timers run slow
+  /// (skew > 1000) misses failure-detector and retry deadlines relative to
+  /// the rest of the world, the classic "one laggard" fault class. Already
+  /// armed timeouts keep their original deadlines.
+  void set_skew_permille(std::uint32_t permille) { skew_permille_ = permille == 0 ? 1 : permille; }
+  std::uint32_t skew_permille() const { return skew_permille_; }
+
  private:
+  DurationMs skewed(DurationMs delay) const {
+    if (skew_permille_ == 1000) return delay;
+    return static_cast<DurationMs>((static_cast<std::int64_t>(delay) * skew_permille_) / 1000);
+  }
+
   void arm_periodic(timing::TimeoutId tid, DurationMs delay, DurationMs period,
                     timing::TimeoutPtr payload) {
-    pending_[tid] = core_->schedule(delay, [this, tid, period, payload] {
+    pending_[tid] = core_->schedule(skewed(delay), [this, tid, period, payload] {
       if (pending_.count(tid) == 0) return;  // cancelled
       trigger(payload, timer_);
       arm_periodic(tid, period < 1 ? 1 : period, period, payload);
@@ -63,6 +76,7 @@ class SimTimer : public ComponentDefinition {
 
   Negative<timing::Timer> timer_ = provide<timing::Timer>();
   SimulatorCore* core_ = nullptr;
+  std::uint32_t skew_permille_ = 1000;  ///< 1000 = nominal rate
   std::unordered_map<timing::TimeoutId, ActionId> pending_;
 };
 

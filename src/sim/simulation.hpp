@@ -99,6 +99,39 @@ class Simulation {
     return true;
   }
 
+  /// Runs (scheduler drains interleaved with timed actions, as run()) until
+  /// `pred()` holds, the world runs dry, or `max_steps` timed actions have
+  /// executed — the whole-simulation rendering of
+  /// SimulatorCore::drain_until. The step budget is the livelock guard: a
+  /// simulated protocol that retries forever would otherwise spin virtual
+  /// time without ever satisfying the predicate. On kBudgetExhausted the
+  /// caller should fail fast and print core().pending_summary().
+  template <class Pred>
+  SimulatorCore::DrainResult drain_until(Pred&& pred, std::uint64_t max_steps = 1'000'000) {
+    using Status = SimulatorCore::DrainStatus;
+    SimulatorCore::DrainResult r;
+    stopped_ = false;
+    while (!stopped_) {
+      scheduler_->drain();
+      if (pred()) {
+        r.status = Status::kPredicate;
+        return r;
+      }
+      if (r.steps >= max_steps) {
+        r.status = Status::kBudgetExhausted;
+        return r;
+      }
+      if (!core_.advance_one()) {
+        r.status = Status::kDry;
+        return r;
+      }
+      core_.count_execution();
+      ++r.steps;
+    }
+    r.status = Status::kDry;
+    return r;
+  }
+
   /// Stops the main loop from inside a handler/action.
   void stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }

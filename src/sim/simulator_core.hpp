@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <sstream>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -78,6 +80,73 @@ class SimulatorCore {
   /// Number of actions executed so far (progress metric for benches).
   std::uint64_t executed() const { return executed_count_; }
   void count_execution() { ++executed_count_; }
+
+  /// Outcome of drain_until: why the loop stopped.
+  enum class DrainStatus { kPredicate, kDry, kBudgetExhausted };
+
+  struct DrainResult {
+    DrainStatus status = DrainStatus::kDry;
+    std::uint64_t steps = 0;  ///< actions executed before stopping
+    explicit operator bool() const { return status == DrainStatus::kPredicate; }
+  };
+
+  /// Runs timed actions until `pred()` holds (checked before each step), the
+  /// queue runs dry, or `max_steps` actions have executed. The step budget is
+  /// the livelock guard for simulated protocols: a retry loop that never
+  /// converges (e.g. two coordinators fencing each other forever) would
+  /// otherwise spin virtual time forward without end. On exhaustion the
+  /// caller gets kBudgetExhausted and should fail fast with
+  /// pending_summary() instead of hanging the test.
+  template <class Pred>
+  DrainResult drain_until(Pred&& pred, std::uint64_t max_steps = 1'000'000) {
+    DrainResult r;
+    while (true) {
+      if (pred()) {
+        r.status = DrainStatus::kPredicate;
+        return r;
+      }
+      if (r.steps >= max_steps) {
+        r.status = DrainStatus::kBudgetExhausted;
+        return r;
+      }
+      if (!advance_one()) {
+        r.status = DrainStatus::kDry;
+        return r;
+      }
+      count_execution();
+      ++r.steps;
+    }
+  }
+
+  /// Human-readable snapshot of the pending queue (printed when a step
+  /// budget trips): live/tombstoned counts and the virtual times of the next
+  /// few live actions — enough to tell a stuck protocol ("thousands of
+  /// actions all at now()+50ms") from a dry one.
+  std::string pending_summary(std::size_t max_entries = 8) const {
+    std::ostringstream os;
+    std::size_t live = 0;
+    std::vector<TimeMs> next_times;
+    // The underlying heap is not iterable; copy it (diagnostic path only).
+    auto copy = queue_;
+    while (!copy.empty()) {
+      if (cancelled_.count(copy.top().id) == 0) {
+        ++live;
+        if (next_times.size() < max_entries) next_times.push_back(copy.top().at);
+      }
+      copy.pop();
+    }
+    os << "now=" << now_ << "ms pending=" << live << " live"
+       << " (+" << (queue_.size() - live) << " tombstoned), executed=" << executed_count_;
+    if (!next_times.empty()) {
+      os << ", next at [";
+      for (std::size_t i = 0; i < next_times.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << next_times[i];
+      }
+      os << (live > next_times.size() ? ", ...]" : "]");
+    }
+    return os.str();
+  }
 
  private:
   struct Entry {

@@ -1,0 +1,421 @@
+#include "testkit/campaign.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cats/cats_simulator.hpp"
+#include "cats/linearizability.hpp"
+#include "sim/simulation.hpp"
+
+namespace kompics::testkit {
+
+RunConfig default_run_config() {
+  RunConfig cfg;
+  cfg.params.op_timeout_ms = 600;
+  cfg.params.op_max_retries = 2;
+  cfg.params.bootstrap_refresh_ms = 2000;
+  return cfg;
+}
+
+namespace {
+
+/// Root component of one campaign run (the SimMain of the old sweep test).
+class CampaignRoot : public ComponentDefinition {
+ public:
+  CampaignRoot(sim::SimulatorCore* core, sim::SimNetworkHubPtr hub, cats::CatsParams params) {
+    simulator = create<cats::CatsSimulator>(core, std::move(hub), params);
+  }
+  Component simulator;
+};
+
+/// Advances the simulation to virtual time `t` under the remaining step
+/// budget. On exhaustion, fails fast with the pending-queue summary
+/// (satellite: never spin when a simulated protocol livelocks).
+bool run_to(sim::Simulation& sim, TimeMs t, std::uint64_t& budget_left, std::uint64_t& steps,
+            std::string* failure) {
+  auto res = sim.drain_until(
+      [&] {
+        const TimeMs next = sim.core().next_time();
+        return next < 0 || next > t;
+      },
+      budget_left);
+  steps += res.steps;
+  budget_left -= std::min<std::uint64_t>(budget_left, res.steps);
+  if (res.status == sim::SimulatorCore::DrainStatus::kBudgetExhausted) {
+    *failure = "step budget exhausted at virtual t=" + std::to_string(sim.now()) +
+               "ms (livelock guard): " + sim.core().pending_summary();
+    return false;
+  }
+  sim.core().advance_to(t);
+  return true;
+}
+
+}  // namespace
+
+RunResult run_schedule(const FaultSchedule& schedule, const RunConfig& config) {
+  RunResult result;
+
+  sim::Simulation sim(Config{}, schedule.seed);
+  auto hub =
+      std::make_shared<sim::SimNetworkHub>(&sim.core(), schedule.seed * 7 + 1, schedule.link);
+  cats::CatsParams params = config.params;
+  params.inject_stale_view_bug = schedule.inject_stale_view_bug;
+  auto root = sim.bootstrap<CampaignRoot>(&sim.core(), hub, params);
+  sim.run_until(1);
+  auto& cats =
+      root.definition_as<CampaignRoot>().simulator.definition_as<cats::CatsSimulator>();
+
+  std::uint64_t budget_left = config.step_budget;
+  for (const ScheduleEvent& e : schedule.events) {
+    if (!run_to(sim, e.at, budget_left, result.steps, &result.failure)) {
+      result.ok = false;
+      return result;
+    }
+    switch (e.kind) {
+      case ScheduleEvent::Kind::kJoin:
+        if (!cats.is_alive(e.node)) cats.join(e.node);
+        break;
+      case ScheduleEvent::Kind::kFail:
+        if (cats.is_alive(e.node)) cats.fail(e.node);
+        break;
+      case ScheduleEvent::Kind::kPut:
+        // Shrinking can leave ops addressed to never-joined or crashed
+        // nodes; they are skipped, not errors.
+        if (cats.is_alive(e.node)) cats.put(e.node, e.key, cats::Value{e.value});
+        break;
+      case ScheduleEvent::Kind::kGet:
+        if (cats.is_alive(e.node)) cats.get(e.node, e.key);
+        break;
+      case ScheduleEvent::Kind::kPartition:
+        hub->partition(e.groups);
+        break;
+      case ScheduleEvent::Kind::kHeal:
+        hub->heal();
+        break;
+      case ScheduleEvent::Kind::kSkew:
+        if (cats.is_alive(e.node)) cats.node_timer(e.node).set_skew_permille(e.skew_permille);
+        break;
+    }
+  }
+  if (!run_to(sim, schedule.horizon, budget_left, result.steps, &result.failure)) {
+    result.ok = false;
+    return result;
+  }
+
+  // ---- checks ------------------------------------------------------------
+  std::ostringstream fail;
+
+  const auto& history = cats.history();
+  result.ops = history.size();
+  std::size_t hung = 0;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (history[i].responded >= 0) continue;
+    ++hung;
+    if (hung <= 3) {
+      fail << "operation hung: #" << i << " "
+           << (history[i].kind == cats::OpRecord::Kind::kPut ? "put" : "get") << " key="
+           << history[i].key << " node=" << history[i].node_id << " invoked at t="
+           << history[i].invoked << "ms\n";
+    }
+  }
+  if (hung > 3) fail << "... and " << (hung - 3) << " more hung operations\n";
+
+  const auto lin = cats::check_history(history);
+  if (!lin.linearizable) fail << "non-linearizable history: " << lin.explanation << "\n";
+  if (lin.budget_exceeded) fail << "linearizability checker budget exceeded\n";
+
+  const auto violations = cats.invariant_violations();
+  for (std::size_t i = 0; i < violations.size() && i < 5; ++i) {
+    fail << "invariant violated: " << violations[i] << "\n";
+  }
+  if (violations.size() > 5) {
+    fail << "... and " << (violations.size() - 5) << " more invariant violations\n";
+  }
+
+  result.failure = fail.str();
+  result.ok = result.failure.empty();
+  return result;
+}
+
+// ---- shrinking -----------------------------------------------------------
+
+namespace {
+
+/// Rebuilds a candidate around a reduced event list: events re-sorted and
+/// the horizon re-tightened to just past the last event.
+FaultSchedule with_events(const FaultSchedule& base, std::vector<ScheduleEvent> events,
+                          DurationMs tail) {
+  FaultSchedule s = base;
+  s.events = std::move(events);
+  std::stable_sort(s.events.begin(), s.events.end(),
+                   [](const ScheduleEvent& a, const ScheduleEvent& b) { return a.at < b.at; });
+  TimeMs last = 0;
+  for (const ScheduleEvent& e : s.events) last = std::max(last, e.at);
+  s.horizon = last + tail;
+  return s;
+}
+
+struct ShrinkState {
+  const RunConfig* config;
+  ShrinkOptions options;
+  std::size_t runs = 0;
+  std::string last_failure;
+
+  bool budget_left() const { return runs < options.max_runs; }
+
+  /// A candidate is accepted iff it still fails (any failure mode counts:
+  /// chasing one exact message would block cuts that expose the same bug
+  /// through a different symptom).
+  bool still_fails(const FaultSchedule& candidate) {
+    if (!budget_left()) return false;
+    ++runs;
+    RunResult r = run_schedule(candidate, *config);
+    if (!r.ok) last_failure = r.failure;
+    return !r.ok;
+  }
+};
+
+/// Classic ddmin over the event list: try removing chunks, coarse to fine.
+void ddmin_events(FaultSchedule& current, ShrinkState& st) {
+  std::size_t n = 2;
+  while (current.events.size() >= 2 && st.budget_left()) {
+    const std::size_t chunk = std::max<std::size_t>(1, current.events.size() / n);
+    bool reduced = false;
+    for (std::size_t start = 0; start < current.events.size() && st.budget_left();
+         start += chunk) {
+      std::vector<ScheduleEvent> cand;
+      cand.reserve(current.events.size());
+      for (std::size_t i = 0; i < current.events.size(); ++i) {
+        if (i < start || i >= start + chunk) cand.push_back(current.events[i]);
+      }
+      if (cand.empty()) continue;
+      FaultSchedule c = with_events(current, std::move(cand), st.options.tail_ms);
+      if (st.still_fails(c)) {
+        current = std::move(c);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= current.events.size()) break;
+      n = std::min(current.events.size(), n * 2);
+    }
+  }
+}
+
+/// Tries evicting whole nodes: drop every event addressed to the node and
+/// strip its host from partition groups.
+void reduce_nodes(FaultSchedule& current, ShrinkState& st) {
+  std::vector<std::uint64_t> nodes;
+  for (const ScheduleEvent& e : current.events) {
+    if (e.kind == ScheduleEvent::Kind::kJoin &&
+        std::find(nodes.begin(), nodes.end(), e.node) == nodes.end()) {
+      nodes.push_back(e.node);
+    }
+  }
+  for (std::uint64_t node : nodes) {
+    if (!st.budget_left()) return;
+    std::vector<ScheduleEvent> cand;
+    for (ScheduleEvent e : current.events) {
+      const bool addressed =
+          e.node == node && e.kind != ScheduleEvent::Kind::kPartition &&
+          e.kind != ScheduleEvent::Kind::kHeal;
+      if (addressed) continue;
+      if (e.kind == ScheduleEvent::Kind::kPartition) {
+        for (auto& g : e.groups) {
+          g.erase(std::remove(g.begin(), g.end(), host_of(node)), g.end());
+        }
+        e.groups.erase(std::remove_if(e.groups.begin(), e.groups.end(),
+                                      [](const auto& g) { return g.empty(); }),
+                       e.groups.end());
+        if (e.groups.size() < 2) continue;  // no longer a cut
+      }
+      cand.push_back(std::move(e));
+    }
+    if (cand.empty()) continue;
+    FaultSchedule c = with_events(current, std::move(cand), st.options.tail_ms);
+    if (st.still_fails(c)) current = std::move(c);
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink_schedule(const FaultSchedule& failing, const RunConfig& config,
+                             const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.original_length = failing.length();
+
+  ShrinkState st;
+  st.config = &config;
+  st.options = options;
+
+  FaultSchedule current = failing;
+  ddmin_events(current, st);
+  reduce_nodes(current, st);
+  ddmin_events(current, st);  // node eviction usually unlocks further cuts
+
+  result.minimal = std::move(current);
+  result.minimal_length = result.minimal.length();
+  result.runs = st.runs;
+  result.failure = st.last_failure;
+  if (result.failure.empty()) {
+    // No candidate was ever evaluated (empty budget); re-derive from the input.
+    result.failure = run_schedule(result.minimal, config).failure;
+  }
+  return result;
+}
+
+// ---- sweeping ------------------------------------------------------------
+
+namespace {
+
+std::string escape_tsv(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else if (c == '\t') out += "\\t";
+    else out += c;
+  }
+  return out;
+}
+
+std::string unescape_tsv(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out += s[i] == 'n' ? '\n' : s[i] == 't' ? '\t' : s[i];
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+void run_block(std::uint64_t first, std::size_t count, const GeneratorConfig& generator,
+               const RunConfig& config, std::ostream& out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = first + i;
+    const RunResult r = run_schedule(generate_schedule(seed, generator), config);
+    out << seed << "\t" << (r.ok ? "PASS" : "FAIL") << "\t" << escape_tsv(r.failure) << "\n";
+  }
+}
+
+}  // namespace
+
+SweepResult sweep_seeds(std::uint64_t first_seed, std::size_t count, std::size_t jobs,
+                        const GeneratorConfig& generator, const RunConfig& config) {
+  SweepResult result;
+  if (count == 0) return result;
+  jobs = std::max<std::size_t>(1, std::min(jobs, count));
+
+  std::vector<SeedOutcome> outcomes;
+  if (jobs == 1) {
+    std::ostringstream buf;
+    run_block(first_seed, count, generator, config, buf);
+    std::istringstream in(buf.str());
+    std::string line;
+    while (std::getline(in, line)) {
+      std::istringstream ls(line);
+      SeedOutcome o;
+      std::string status, message;
+      ls >> o.seed >> status;
+      std::getline(ls, message);
+      o.ok = status == "PASS";
+      o.failure = unescape_tsv(message.empty() ? message : message.substr(1));
+      outcomes.push_back(std::move(o));
+    }
+  } else {
+    // Parallel worker processes: fork one child per contiguous seed block.
+    // Simulation runs are single-threaded, so fork is safe even under TSan;
+    // each child shares nothing with its siblings but the result file it
+    // writes before _exit.
+    struct Worker {
+      pid_t pid = -1;
+      std::string path;
+      std::uint64_t first = 0;
+      std::size_t n = 0;
+    };
+    std::vector<Worker> workers;
+    const std::size_t base = count / jobs;
+    const std::size_t extra = count % jobs;
+    std::uint64_t next = first_seed;
+    for (std::size_t w = 0; w < jobs; ++w) {
+      Worker wk;
+      wk.first = next;
+      wk.n = base + (w < extra ? 1 : 0);
+      next += wk.n;
+      if (wk.n == 0) continue;
+      wk.path = "/tmp/catscampaign-" + std::to_string(getpid()) + "-" + std::to_string(w) +
+                ".tsv";
+      const pid_t pid = fork();
+      if (pid == 0) {
+        std::ofstream out(wk.path);
+        run_block(wk.first, wk.n, generator, config, out);
+        out.flush();
+        _exit(out.good() ? 0 : 2);
+      }
+      if (pid < 0) {
+        // Fork failed (resource limits): fall back to running inline.
+        std::ofstream out(wk.path);
+        run_block(wk.first, wk.n, generator, config, out);
+      }
+      wk.pid = pid;
+      workers.push_back(std::move(wk));
+    }
+    for (Worker& wk : workers) {
+      if (wk.pid > 0) {
+        int status = 0;
+        waitpid(wk.pid, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+          SeedOutcome o;
+          o.seed = wk.first;
+          o.ok = false;
+          o.failure = "worker process for seeds " + std::to_string(wk.first) + ".." +
+                      std::to_string(wk.first + wk.n - 1) + " crashed (status " +
+                      std::to_string(status) + ")";
+          outcomes.push_back(o);
+        }
+      }
+      std::ifstream in(wk.path);
+      std::string line;
+      while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        SeedOutcome o;
+        std::string status, message;
+        ls >> o.seed >> status;
+        std::getline(ls, message);
+        o.ok = status == "PASS";
+        o.failure = unescape_tsv(message.empty() ? message : message.substr(1));
+        outcomes.push_back(std::move(o));
+      }
+      std::remove(wk.path.c_str());
+    }
+  }
+
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const SeedOutcome& a, const SeedOutcome& b) { return a.seed < b.seed; });
+  for (SeedOutcome& o : outcomes) {
+    if (o.ok) ++result.passed;
+    else result.failures.push_back(std::move(o));
+  }
+  return result;
+}
+
+std::string seed_repro_command(const std::string& binary, std::uint64_t seed,
+                               const GeneratorConfig& generator) {
+  std::string cmd = binary + " --seed " + std::to_string(seed);
+  if (generator.inject_stale_view_bug) cmd += " --inject-stale-view-bug";
+  return cmd;
+}
+
+}  // namespace kompics::testkit

@@ -1,0 +1,88 @@
+#pragma once
+
+// Campaign runner (ISSUE 7, tentpole part 2): sweeps seed-generated fault
+// schedules over the full CATS system on the deterministic simulator,
+// checking every run with the Wing & Gong linearizability checker plus the
+// per-component invariant hooks (ConsistentABD / CatsRing / OneHopRouter).
+// On failure, shrink_schedule() delta-debugs the schedule — dropping
+// events, removing nodes, truncating the horizon — down to a minimal still-
+// failing trace that serializes as a replayable artifact.
+//
+// sweep_seeds() fans a sweep out over parallel worker *processes* (fork):
+// each worker runs a contiguous seed block in its own address space, so a
+// crash in one seed is reported instead of killing the sweep, and workers
+// share nothing but their result files.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cats/params.hpp"
+#include "testkit/fault_schedule.hpp"
+
+namespace kompics::testkit {
+
+struct RunConfig {
+  cats::CatsParams params;  ///< protocol knobs; the schedule's bug flag overrides
+  std::uint64_t step_budget = 8'000'000;  ///< timed actions per run (livelock guard)
+};
+
+/// The sweep defaults (identical to the PR 6 sweep's): short op timeouts
+/// and an aggressive bootstrap refresh so 60s-virtual schedules converge.
+RunConfig default_run_config();
+
+struct RunResult {
+  bool ok = true;
+  std::string failure;   ///< first failure (multi-line); empty when ok
+  std::size_t ops = 0;   ///< operations recorded in the history
+  std::uint64_t steps = 0;  ///< timed actions executed
+  explicit operator bool() const { return ok; }
+};
+
+/// Replays one schedule to completion and checks it (hung operations,
+/// linearizability, invariants, step budget).
+RunResult run_schedule(const FaultSchedule& schedule, const RunConfig& config);
+
+struct ShrinkOptions {
+  std::size_t max_runs = 400;  ///< evaluation budget for the whole shrink
+  DurationMs tail_ms = 7000;   ///< horizon margin re-applied after each cut
+};
+
+struct ShrinkResult {
+  FaultSchedule minimal;            ///< smallest still-failing schedule found
+  std::string failure;              ///< how the minimal schedule fails
+  std::size_t original_length = 0;  ///< failing.length()
+  std::size_t minimal_length = 0;   ///< minimal.length()
+  std::size_t runs = 0;             ///< schedule evaluations spent
+};
+
+/// ddmin-style reduction: repeatedly re-runs candidate schedules with event
+/// chunks removed (coarse to fine), then tries evicting whole nodes, then
+/// single events again, re-tightening the horizon after every accepted cut.
+/// `failing` must actually fail under `config`.
+ShrinkResult shrink_schedule(const FaultSchedule& failing, const RunConfig& config,
+                             const ShrinkOptions& options = {});
+
+struct SeedOutcome {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  std::string failure;
+};
+
+struct SweepResult {
+  std::size_t passed = 0;
+  std::vector<SeedOutcome> failures;  ///< sorted by seed
+  bool all_passed() const { return failures.empty(); }
+};
+
+/// Runs seeds [first_seed, first_seed + count). jobs <= 1 runs inline;
+/// jobs > 1 forks that many worker processes over contiguous seed blocks.
+SweepResult sweep_seeds(std::uint64_t first_seed, std::size_t count, std::size_t jobs,
+                        const GeneratorConfig& generator, const RunConfig& config);
+
+/// The one-paste repro command for a failing seed (satellite: every failure
+/// must print one). `binary` is how the campaign runner was invoked.
+std::string seed_repro_command(const std::string& binary, std::uint64_t seed,
+                               const GeneratorConfig& generator);
+
+}  // namespace kompics::testkit

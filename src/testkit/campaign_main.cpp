@@ -1,0 +1,211 @@
+// campaign_runner: the CLI for the simulation campaign harness (ISSUE 7).
+//
+//   campaign_runner --seeds 2000 --jobs 8        # sweep seeds 1..2000
+//   campaign_runner --seed 17                    # one seed, verbose
+//   campaign_runner --seed 17 --shrink           # shrink if it fails
+//   campaign_runner --replay out/seed17.schedule # replay a shrunk artifact
+//
+// Any failure prints the one-paste repro command for the seed and, after
+// shrinking, the path of the replayable minimal-schedule artifact plus the
+// --replay command for it. Exit status: 0 all passed, 1 failures, 2 usage.
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "testkit/campaign.hpp"
+
+namespace tk = kompics::testkit;
+
+namespace {
+
+struct Options {
+  std::size_t seeds = 0;          // --seeds N: sweep mode
+  std::uint64_t start = 1;        // --start S: first seed of the sweep
+  std::size_t jobs = 1;           // --jobs J: parallel worker processes
+  std::uint64_t seed = 0;         // --seed X: single-seed mode
+  bool have_seed = false;
+  std::string replay;             // --replay FILE: run a schedule artifact
+  bool shrink = false;            // --shrink: minimize failures
+  std::string out = "campaign-out";  // --out DIR: artifact directory
+  bool inject_bug = false;        // --inject-stale-view-bug (self-test only)
+  bool print_schedule = false;    // --print-schedule: dump and exit
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--seeds N] [--start S] [--jobs J]\n"
+            << "       " << argv0 << " --seed X [--shrink] [--print-schedule]\n"
+            << "       " << argv0 << " --replay FILE\n"
+            << "options: --out DIR (default campaign-out), --smoke (= --seeds 50),\n"
+            << "         --inject-stale-view-bug (harness self-test: re-opens the\n"
+            << "         pre-consistent-quorums divergence window)\n";
+  return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  std::istringstream is(s);
+  return static_cast<bool>(is >> *out) && is.eof();
+}
+
+tk::GeneratorConfig generator_for(const Options& opt) {
+  tk::GeneratorConfig gen;
+  gen.inject_stale_view_bug = opt.inject_bug;
+  return gen;
+}
+
+std::string write_artifact(const Options& opt, const tk::FaultSchedule& schedule,
+                           const std::string& stem) {
+  ::mkdir(opt.out.c_str(), 0755);
+  const std::string path = opt.out + "/" + stem + ".schedule";
+  std::ofstream f(path);
+  f << tk::to_text(schedule);
+  return f.good() ? path : "";
+}
+
+/// Shrinks a failing schedule, writes the minimal artifact, and prints the
+/// replay repro. Returns the artifact path (empty if writing failed).
+void shrink_and_report(const Options& opt, const std::string& argv0,
+                       const tk::FaultSchedule& failing) {
+  std::cout << "shrinking schedule (" << failing.length() << " events)...\n";
+  const tk::ShrinkResult sr = tk::shrink_schedule(failing, tk::default_run_config());
+  std::cout << "shrunk " << sr.original_length << " -> " << sr.minimal_length << " events in "
+            << sr.runs << " runs\n"
+            << "minimal failure:\n" << sr.failure;
+  const std::string path = write_artifact(opt, sr.minimal,
+                                          "seed" + std::to_string(failing.seed) + "-min");
+  if (path.empty()) {
+    std::cout << "(could not write artifact under " << opt.out << ")\n";
+  } else {
+    std::cout << "minimal schedule artifact: " << path << "\n"
+              << "repro: " << argv0 << " --replay " << path << "\n";
+  }
+}
+
+int run_replay(const Options& opt) {
+  std::ifstream f(opt.replay);
+  if (!f) {
+    std::cerr << "cannot open " << opt.replay << "\n";
+    return 2;
+  }
+  tk::FaultSchedule schedule;
+  std::string error;
+  if (!tk::parse_schedule(f, &schedule, &error)) {
+    std::cerr << opt.replay << ": " << error << "\n";
+    return 2;
+  }
+  std::cout << "replaying " << opt.replay << " (seed " << schedule.seed << ", "
+            << schedule.length() << " events, horizon " << schedule.horizon << "ms)\n";
+  const tk::RunResult r = tk::run_schedule(schedule, tk::default_run_config());
+  if (r.ok) {
+    std::cout << "PASS: " << r.ops << " ops, " << r.steps << " steps\n";
+    return 0;
+  }
+  std::cout << "FAIL:\n" << r.failure;
+  return 1;
+}
+
+int run_single(const Options& opt, const std::string& argv0) {
+  const tk::GeneratorConfig gen = generator_for(opt);
+  const tk::FaultSchedule schedule = tk::generate_schedule(opt.seed, gen);
+  if (opt.print_schedule) {
+    std::cout << tk::to_text(schedule);
+    return 0;
+  }
+  std::cout << "seed " << opt.seed << ": " << schedule.length() << " events, horizon "
+            << schedule.horizon << "ms\n";
+  const tk::RunResult r = tk::run_schedule(schedule, tk::default_run_config());
+  if (r.ok) {
+    std::cout << "PASS: " << r.ops << " ops, " << r.steps << " steps\n";
+    return 0;
+  }
+  std::cout << "FAIL:\n" << r.failure
+            << "repro: " << tk::seed_repro_command(argv0, opt.seed, gen) << "\n";
+  if (opt.shrink) {
+    shrink_and_report(opt, argv0, schedule);
+  } else {
+    const std::string path =
+        write_artifact(opt, schedule, "seed" + std::to_string(opt.seed));
+    if (!path.empty()) std::cout << "schedule artifact: " << path << "\n";
+    std::cout << "(add --shrink to minimize)\n";
+  }
+  return 1;
+}
+
+int run_sweep(const Options& opt, const std::string& argv0) {
+  const tk::GeneratorConfig gen = generator_for(opt);
+  std::cout << "sweeping seeds " << opt.start << ".." << (opt.start + opt.seeds - 1) << " ("
+            << opt.jobs << " worker" << (opt.jobs == 1 ? "" : "s") << ")...\n";
+  const tk::SweepResult sweep =
+      tk::sweep_seeds(opt.start, opt.seeds, opt.jobs, gen, tk::default_run_config());
+  std::cout << sweep.passed << "/" << opt.seeds << " seeds passed\n";
+  if (sweep.all_passed()) return 0;
+
+  for (const tk::SeedOutcome& f : sweep.failures) {
+    std::cout << "---- seed " << f.seed << " FAILED ----\n" << f.failure
+              << "repro: " << tk::seed_repro_command(argv0, f.seed, gen) << "\n";
+  }
+  // Shrink the first failure: one minimal artifact per sweep keeps nightly
+  // logs and uploads small; the repro commands above cover the rest.
+  const std::uint64_t first = sweep.failures.front().seed;
+  shrink_and_report(opt, argv0, tk::generate_schedule(first, gen));
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    std::uint64_t n = 0;
+    if (a == "--seeds") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, &n)) return usage(argv[0]);
+      opt.seeds = static_cast<std::size_t>(n);
+    } else if (a == "--start") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, &opt.start)) return usage(argv[0]);
+    } else if (a == "--jobs") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, &n) || n == 0) return usage(argv[0]);
+      opt.jobs = static_cast<std::size_t>(n);
+    } else if (a == "--seed") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, &opt.seed)) return usage(argv[0]);
+      opt.have_seed = true;
+    } else if (a == "--replay") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.replay = v;
+    } else if (a == "--out") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.out = v;
+    } else if (a == "--shrink") {
+      opt.shrink = true;
+    } else if (a == "--print-schedule") {
+      opt.print_schedule = true;
+    } else if (a == "--inject-stale-view-bug") {
+      opt.inject_bug = true;
+    } else if (a == "--smoke") {
+      opt.seeds = 50;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown option '" << a << "'\n";
+      return usage(argv[0]);
+    }
+  }
+
+  if (!opt.replay.empty()) return run_replay(opt);
+  if (opt.have_seed) return run_single(opt, argv[0]);
+  if (opt.seeds > 0) return run_sweep(opt, argv[0]);
+  return usage(argv[0]);
+}

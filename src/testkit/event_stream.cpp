@@ -1,0 +1,550 @@
+#include "testkit/event_stream.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kompics::testkit {
+namespace detail {
+
+/// Resolves one built script against the simulation: pops observed events
+/// off the stream, advancing virtual time (timeout-bounded, step-budgeted)
+/// whenever the stream is empty. All failure text is assembled here so
+/// every mismatch carries the same diff-style anatomy: what the statement
+/// expected, what the stream held, and the recent annotated stream tail.
+class Engine {
+ public:
+  explicit Engine(TestContext& ctx) : ctx_(ctx) {}
+
+  Result run(const std::vector<StmtPtr>& script) {
+    Result r;
+    if (!exec_block(script)) {
+      r.ok = false;
+      std::ostringstream os;
+      os << fail_ << "\n" << ctx_.render_log_tail() << "\n(TestContext seed=" << ctx_.seed_
+         << ", virtual t=" << ctx_.now() << "ms)";
+      r.message = os.str();
+    }
+    return r;
+  }
+
+ private:
+  bool exec_block(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& s : stmts) {
+      if (!exec_stmt(*s)) return false;
+    }
+    return true;
+  }
+
+  bool exec_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kExpect:
+        return exec_expect(s);
+      case Stmt::Kind::kTrigger:
+        return exec_trigger(s);
+      case Stmt::Kind::kExec:
+        s.exec();
+        return true;
+      case Stmt::Kind::kRepeat:
+        for (std::size_t i = 0; i < s.count; ++i) {
+          if (!exec_block(s.body)) return false;
+        }
+        return true;
+      case Stmt::Kind::kWhen:
+        if (s.pred()) return exec_block(s.body);
+        return true;
+      case Stmt::Kind::kEither:
+        return exec_either(s);
+      case Stmt::Kind::kUnordered:
+        return exec_unordered(s);
+      case Stmt::Kind::kSettle:
+        return exec_settle(s);
+    }
+    return true;  // unreachable
+  }
+
+  DurationMs timeout_of(const Stmt& s) const {
+    return s.timeout_override >= 0 ? s.timeout_override : ctx_.default_timeout_;
+  }
+
+  // ---- stream primitives -------------------------------------------------
+
+  /// Applies ambient filters to the stream head: drops `allow`ed events,
+  /// fails on `forbid`den ones. Afterwards the head (if any) is a real
+  /// observation.
+  bool filter_stream() {
+    while (!ctx_.stream_.empty()) {
+      const Observed& o = ctx_.stream_.front();
+      const char* tname = event_type_name(*o.event);
+      for (const Filter& f : ctx_.forbids_) {
+        if ((f.half == nullptr || f.half == o.half) && f.matches(*o.event)) {
+          std::ostringstream os;
+          os << "TestKit failure: forbidden event observed\n  forbid:   " << f.describe
+             << "\n  observed: " << tname << " out@" << ctx_.port_name_of(o.half)
+             << " at t=" << o.at << "ms";
+          fail_ = os.str();
+          ctx_.log_event(o.at, false, ctx_.port_name_of(o.half), tname, "FORBIDDEN");
+          return false;
+        }
+      }
+      bool dropped = false;
+      for (const Filter& f : ctx_.allows_) {
+        if ((f.half == nullptr || f.half == o.half) && f.matches(*o.event)) {
+          ctx_.log_event(o.at, false, ctx_.port_name_of(o.half), tname, "allowed, dropped");
+          ctx_.stream_.pop_front();
+          dropped = true;
+          break;
+        }
+      }
+      if (!dropped) return true;
+    }
+    return true;
+  }
+
+  /// Advances the simulation until the (filtered) stream is non-empty.
+  /// Returns false — with fail_ set — on timeout, dry world, forbid hit, or
+  /// step-budget exhaustion. `what` describes the waiting statement.
+  bool await_observation(DurationMs timeout, const std::string& what) {
+    auto& sim = ctx_.sim_;
+    auto& core = sim.core();
+    const TimeMs deadline = ctx_.now() + timeout;
+    while (true) {
+      sim.run_until(sim.now());  // drain component work at the current time
+      if (!filter_stream()) return false;
+      if (!ctx_.stream_.empty()) return true;
+      if (steps_used_ >= ctx_.step_budget_) {
+        fail_ = budget_message(what);
+        return false;
+      }
+      const TimeMs next = core.next_time();
+      if (next < 0) {
+        std::ostringstream os;
+        os << "TestKit failure: simulation ran dry (no pending timed actions) while waiting"
+           << " for\n  expected: " << what << "\n  at t=" << ctx_.now() << "ms";
+        fail_ = os.str();
+        return false;
+      }
+      if (next > deadline) {
+        core.advance_to(deadline);
+        std::ostringstream os;
+        os << "TestKit failure: timeout after " << timeout << "ms (virtual) waiting for"
+           << "\n  expected: " << what << "\n  observed: <no event>";
+        fail_ = os.str();
+        return false;
+      }
+      core.advance_one();
+      core.count_execution();
+      ++steps_used_;
+    }
+  }
+
+  std::string budget_message(const std::string& what) const {
+    std::ostringstream os;
+    os << "TestKit failure: step budget exhausted (" << ctx_.step_budget_
+       << " timed actions) — simulated protocol appears to livelock\n  while waiting for: "
+       << what << "\n  " << ctx_.sim_.core().pending_summary();
+    return os.str();
+  }
+
+  std::string describe_observed(const Observed& o) const {
+    std::ostringstream os;
+    os << event_type_name(*o.event) << " out@" << ctx_.port_name_of(o.half) << " at t=" << o.at
+       << "ms";
+    return os.str();
+  }
+
+  /// True when the stream head satisfies `spec` (port identity + type +
+  /// predicate).
+  bool head_matches(const ExpectSpec& spec) const {
+    const Observed& o = ctx_.stream_.front();
+    return o.half == spec.half && spec.matches(*o.event);
+  }
+
+  void consume_head(const ExpectSpec& spec, int stmt_index) {
+    Observed o = std::move(ctx_.stream_.front());
+    ctx_.stream_.pop_front();
+    std::ostringstream note;
+    note << "matched #" << stmt_index;
+    ctx_.log_event(o.at, false, spec.port_name, event_type_name(*o.event), note.str());
+    if (spec.capture) spec.capture(o.event);
+  }
+
+  // ---- statement execution ----------------------------------------------
+
+  bool exec_expect(const Stmt& s) {
+    if (!await_observation(timeout_of(s), s.expect.describe())) return false;
+    if (!head_matches(s.expect)) {
+      const Observed& o = ctx_.stream_.front();
+      std::ostringstream os;
+      os << "TestKit mismatch at statement #" << s.index << ":\n  expected: "
+         << s.expect.describe() << "\n  observed: " << describe_observed(o);
+      if (o.half == s.expect.half && s.expect.has_predicate &&
+          s.expect.matches_type != nullptr && s.expect.matches_type(*o.event)) {
+        os << "\n  (type matches; the predicate rejected the event)";
+      }
+      fail_ = os.str();
+      ctx_.log_event(o.at, false, ctx_.port_name_of(o.half), event_type_name(*o.event),
+                     "MISMATCH");
+      return false;
+    }
+    consume_head(s.expect, s.index);
+    return true;
+  }
+
+  bool exec_trigger(const Stmt& s) {
+    EventPtr e = s.make_evt();
+    ctx_.log_event(ctx_.now(), true, s.trigger_port, event_type_name(*e), "injected");
+    s.trigger_half->trigger(e);
+    return true;
+  }
+
+  bool exec_either(const Stmt& s) {
+    const std::string what = either_heads(s);
+    if (!await_observation(timeout_of(s), what)) return false;
+    for (const auto& branch : s.branches) {
+      if (head_matches(branch.front()->expect)) return exec_block(branch);
+    }
+    const Observed& o = ctx_.stream_.front();
+    std::ostringstream os;
+    os << "TestKit mismatch at statement #" << s.index << " (either):\n  expected one of:\n";
+    for (const auto& branch : s.branches) {
+      os << "    - " << branch.front()->expect.describe() << "\n";
+    }
+    os << "  observed: " << describe_observed(o);
+    fail_ = os.str();
+    ctx_.log_event(o.at, false, ctx_.port_name_of(o.half), event_type_name(*o.event),
+                   "MISMATCH (either)");
+    return false;
+  }
+
+  std::string either_heads(const Stmt& s) const {
+    std::string what = "either of {";
+    for (std::size_t i = 0; i < s.branches.size(); ++i) {
+      if (i != 0) what += " | ";
+      what += s.branches[i].front()->expect.describe();
+    }
+    return what + "}";
+  }
+
+  bool exec_unordered(const Stmt& s) {
+    std::vector<const Stmt*> remaining;
+    remaining.reserve(s.body.size());
+    for (const StmtPtr& m : s.body) remaining.push_back(m.get());
+    // One shared deadline for the whole set: resolution order is unknown, so
+    // per-member deadlines would be meaningless.
+    const TimeMs deadline = ctx_.now() + timeout_of(s);
+    while (!remaining.empty()) {
+      const DurationMs left = deadline - ctx_.now();
+      if (!await_observation(left < 0 ? 0 : left, unordered_remaining(remaining))) return false;
+      auto it = std::find_if(remaining.begin(), remaining.end(),
+                             [this](const Stmt* m) { return head_matches(m->expect); });
+      if (it == remaining.end()) {
+        const Observed& o = ctx_.stream_.front();
+        std::ostringstream os;
+        os << "TestKit mismatch at statement #" << s.index
+           << " (unordered):\n  expected (any order):\n";
+        for (const Stmt* m : remaining) os << "    - " << m->expect.describe() << "\n";
+        os << "  observed: " << describe_observed(o);
+        fail_ = os.str();
+        ctx_.log_event(o.at, false, ctx_.port_name_of(o.half), event_type_name(*o.event),
+                       "MISMATCH (unordered)");
+        return false;
+      }
+      consume_head((*it)->expect, (*it)->index);
+      remaining.erase(it);
+    }
+    return true;
+  }
+
+  std::string unordered_remaining(const std::vector<const Stmt*>& remaining) const {
+    std::string what = "unordered {";
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (i != 0) what += ", ";
+      what += remaining[i]->expect.describe();
+    }
+    return what + "}";
+  }
+
+  bool exec_settle(const Stmt& s) {
+    auto& sim = ctx_.sim_;
+    auto& core = sim.core();
+    const TimeMs target = ctx_.now() + s.settle_ms;
+    while (true) {
+      sim.run_until(sim.now());
+      if (!filter_stream()) return false;
+      if (s.require_silence && !ctx_.stream_.empty()) {
+        const Observed& o = ctx_.stream_.front();
+        std::ostringstream os;
+        os << "TestKit failure at statement #" << s.index << ": expected silence for "
+           << s.settle_ms << "ms, but observed\n  " << describe_observed(o);
+        fail_ = os.str();
+        ctx_.log_event(o.at, false, ctx_.port_name_of(o.half), event_type_name(*o.event),
+                       "SILENCE VIOLATED");
+        return false;
+      }
+      if (steps_used_ >= ctx_.step_budget_) {
+        fail_ = budget_message("settle/expect_silence window");
+        return false;
+      }
+      const TimeMs next = core.next_time();
+      if (next < 0 || next > target) {
+        core.advance_to(target);
+        sim.run_until(sim.now());
+        if (!filter_stream()) return false;
+        if (s.require_silence && !ctx_.stream_.empty()) continue;  // re-enter for the message
+        return true;
+      }
+      core.advance_one();
+      core.count_execution();
+      ++steps_used_;
+    }
+  }
+
+  TestContext& ctx_;
+  std::string fail_;
+  std::uint64_t steps_used_ = 0;
+};
+
+}  // namespace detail
+
+// ---- TestContext --------------------------------------------------------
+
+TestContext::TestContext(std::uint64_t seed, TestProbe::Build build, Config config)
+    : sim_(std::move(config), seed), seed_(seed) {
+  probe_c_ = sim_.bootstrap<TestProbe>(&sim_.core(), std::move(build));
+  probe_ = &probe_c_.definition_as<TestProbe>();
+  sim_.run_until(sim_.now());  // complete the start protocol at t=0
+}
+
+TestContext::~TestContext() = default;
+
+PortHandle TestContext::monitor(PortCore* half, const std::string& name) {
+  auto [it, inserted] = port_names_.emplace(half, name);
+  if (inserted) {
+    // Catch-all recorder: Event is the registry root, so every event the
+    // CUT emits through this half enters the observed stream.
+    probe_->subscribe<Event>(half, [this, half](const Event&) {
+      stream_.push_back(detail::Observed{half, probe_->current_event(), sim_.now()});
+    });
+  }
+  return PortHandle{half, it->second};
+}
+
+Component& TestContext::attach_sim_timer() {
+  timer_ = probe_->make<sim::SimTimer>();
+  probe_->trigger(make_event<sim::SimTimer::Init>(&sim_.core()), timer_.control());
+  probe_->connect(timer_.provided<timing::Timer>(), cut().required<timing::Timer>());
+  probe_->activate(timer_);
+  sim_.run_until(sim_.now());
+  return timer_;
+}
+
+std::string TestContext::port_name_of(PortCore* half) const {
+  auto it = port_names_.find(half);
+  return it != port_names_.end() ? it->second : "<unmonitored>";
+}
+
+TestContext& TestContext::push_expect(detail::ExpectSpec spec, DurationMs timeout) {
+  auto s = std::make_unique<detail::Stmt>();
+  s->kind = detail::Stmt::Kind::kExpect;
+  s->expect = std::move(spec);
+  s->timeout_override = timeout;
+  return push(std::move(s));
+}
+
+TestContext& TestContext::trigger(const PortHandle& p, EventPtr e) {
+  return trigger(p, [e = std::move(e)] { return e; });
+}
+
+TestContext& TestContext::trigger(const PortHandle& p, std::function<EventPtr()> factory) {
+  auto s = std::make_unique<detail::Stmt>();
+  s->kind = detail::Stmt::Kind::kTrigger;
+  s->make_evt = std::move(factory);
+  s->trigger_half = p.half;
+  s->trigger_port = p.name;
+  return push(std::move(s));
+}
+
+TestContext& TestContext::exec(std::function<void()> fn) {
+  auto s = std::make_unique<detail::Stmt>();
+  s->kind = detail::Stmt::Kind::kExec;
+  s->exec = std::move(fn);
+  return push(std::move(s));
+}
+
+TestContext& TestContext::settle(DurationMs ms) {
+  auto s = std::make_unique<detail::Stmt>();
+  s->kind = detail::Stmt::Kind::kSettle;
+  s->settle_ms = ms;
+  return push(std::move(s));
+}
+
+TestContext& TestContext::expect_silence(DurationMs ms) {
+  auto s = std::make_unique<detail::Stmt>();
+  s->kind = detail::Stmt::Kind::kSettle;
+  s->settle_ms = ms;
+  s->require_silence = true;
+  return push(std::move(s));
+}
+
+TestContext& TestContext::repeat(std::size_t n) {
+  auto s = std::make_unique<detail::Stmt>();
+  s->kind = detail::Stmt::Kind::kRepeat;
+  s->count = n;
+  s->index = next_stmt_index_++;
+  block_stack_.push_back(BuilderBlock{detail::Stmt::Kind::kRepeat, std::move(s)});
+  return *this;
+}
+
+TestContext& TestContext::end_repeat() { return close_block(detail::Stmt::Kind::kRepeat, "repeat"); }
+
+TestContext& TestContext::either() {
+  auto s = std::make_unique<detail::Stmt>();
+  s->kind = detail::Stmt::Kind::kEither;
+  s->index = next_stmt_index_++;
+  s->branches.emplace_back();
+  block_stack_.push_back(BuilderBlock{detail::Stmt::Kind::kEither, std::move(s)});
+  return *this;
+}
+
+TestContext& TestContext::or_else() {
+  if (block_stack_.empty() || block_stack_.back().kind != detail::Stmt::Kind::kEither) {
+    builder_error("or_else() outside an either() block");
+    return *this;
+  }
+  detail::Stmt& s = *block_stack_.back().stmt;
+  if (s.branches.back().empty()) {
+    builder_error("either() branch is empty before or_else()");
+    return *this;
+  }
+  s.branches.emplace_back();
+  return *this;
+}
+
+TestContext& TestContext::end_either() {
+  if (block_stack_.empty() || block_stack_.back().kind != detail::Stmt::Kind::kEither) {
+    builder_error("end_either() without a matching either()");
+    return *this;
+  }
+  detail::StmtPtr s = std::move(block_stack_.back().stmt);
+  block_stack_.pop_back();
+  for (const auto& branch : s->branches) {
+    if (branch.empty() || branch.front()->kind != detail::Stmt::Kind::kExpect) {
+      builder_error("every either() branch must start with an expect");
+      return *this;
+    }
+  }
+  auto* dest = open_block();
+  if (dest != nullptr) dest->push_back(std::move(s));
+  return *this;
+}
+
+TestContext& TestContext::unordered() {
+  auto s = std::make_unique<detail::Stmt>();
+  s->kind = detail::Stmt::Kind::kUnordered;
+  s->index = next_stmt_index_++;
+  block_stack_.push_back(BuilderBlock{detail::Stmt::Kind::kUnordered, std::move(s)});
+  return *this;
+}
+
+TestContext& TestContext::end_unordered() {
+  if (block_stack_.empty() || block_stack_.back().kind != detail::Stmt::Kind::kUnordered) {
+    builder_error("end_unordered() without a matching unordered()");
+    return *this;
+  }
+  for (const detail::StmtPtr& m : block_stack_.back().stmt->body) {
+    if (m->kind != detail::Stmt::Kind::kExpect) {
+      builder_error("unordered() blocks may contain only expect statements");
+      return *this;
+    }
+  }
+  return close_block(detail::Stmt::Kind::kUnordered, "unordered");
+}
+
+TestContext& TestContext::when(std::function<bool()> pred) {
+  auto s = std::make_unique<detail::Stmt>();
+  s->kind = detail::Stmt::Kind::kWhen;
+  s->pred = std::move(pred);
+  s->index = next_stmt_index_++;
+  block_stack_.push_back(BuilderBlock{detail::Stmt::Kind::kWhen, std::move(s)});
+  return *this;
+}
+
+TestContext& TestContext::end_when() { return close_block(detail::Stmt::Kind::kWhen, "when"); }
+
+TestContext& TestContext::close_block(detail::Stmt::Kind kind, const char* what) {
+  if (block_stack_.empty() || block_stack_.back().kind != kind) {
+    builder_error(std::string("end_") + what + "() without a matching " + what + "()");
+    return *this;
+  }
+  detail::StmtPtr s = std::move(block_stack_.back().stmt);
+  block_stack_.pop_back();
+  auto* dest = open_block();
+  if (dest != nullptr) dest->push_back(std::move(s));
+  return *this;
+}
+
+std::vector<detail::StmtPtr>* TestContext::open_block() {
+  if (block_stack_.empty()) return &script_;
+  BuilderBlock& top = block_stack_.back();
+  if (top.kind == detail::Stmt::Kind::kEither) return &top.stmt->branches.back();
+  return &top.stmt->body;
+}
+
+TestContext& TestContext::push(detail::StmtPtr s) {
+  s->index = next_stmt_index_++;
+  auto* dest = open_block();
+  if (dest != nullptr) dest->push_back(std::move(s));
+  return *this;
+}
+
+void TestContext::builder_error(const std::string& what) {
+  if (build_error_.empty()) build_error_ = "TestKit script error: " + what;
+}
+
+Result TestContext::check() {
+  Result r;
+  if (!block_stack_.empty() && build_error_.empty()) {
+    builder_error("check() with an unclosed block (missing end_repeat/end_either/"
+                  "end_unordered/end_when)");
+  }
+  if (!build_error_.empty()) {
+    r.ok = false;
+    r.message = build_error_;
+  } else {
+    detail::Engine engine(*this);
+    r = engine.run(script_);
+  }
+  // The script is one-shot either way; sim state and unconsumed stream
+  // persist so a context can stage several build/check rounds.
+  script_.clear();
+  block_stack_.clear();
+  build_error_.clear();
+  next_stmt_index_ = 1;
+  return r;
+}
+
+void TestContext::log_event(TimeMs at, bool injected, const std::string& port,
+                            const std::string& type, std::string note) {
+  log_.push_back(LogEntry{at, injected, port, type, std::move(note)});
+  while (log_.size() > 64) log_.pop_front();
+}
+
+std::string TestContext::render_log_tail(std::size_t n) const {
+  std::ostringstream os;
+  os << "recent stream (oldest first):";
+  if (log_.empty()) {
+    os << " <empty>";
+    return os.str();
+  }
+  const std::size_t start = log_.size() > n ? log_.size() - n : 0;
+  if (start > 0) os << "\n  ... (" << start << " earlier entries)";
+  for (std::size_t i = start; i < log_.size(); ++i) {
+    const LogEntry& e = log_[i];
+    os << "\n  [t=" << e.at << "ms] " << (e.injected ? "IN  " : "OUT ") << e.type << " @"
+       << e.port;
+    if (!e.note.empty()) os << "  (" << e.note << ")";
+  }
+  return os.str();
+}
+
+}  // namespace kompics::testkit

@@ -1,0 +1,311 @@
+#include "testkit/fault_schedule.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+
+namespace kompics::testkit {
+
+std::uint32_t host_of(std::uint64_t node_id) { return static_cast<std::uint32_t>(node_id) + 2; }
+
+namespace {
+
+/// Stable sort by time: generator emits in order anyway, but parse and
+/// shrink both re-normalize through this.
+void sort_events(FaultSchedule& s) {
+  std::stable_sort(s.events.begin(), s.events.end(),
+                   [](const ScheduleEvent& a, const ScheduleEvent& b) { return a.at < b.at; });
+}
+
+}  // namespace
+
+FaultSchedule generate_schedule(std::uint64_t seed, const GeneratorConfig& config) {
+  // Independent stream: the run itself seeds its RNGs from `seed`, so the
+  // generator must not consume from the same sequence.
+  RngStream rng(derive_seed(seed, 0xC4A117));
+
+  FaultSchedule s;
+  s.seed = seed;
+  s.inject_stale_view_bug = config.inject_stale_view_bug;
+
+  // Link model mix mirrors the PR 6 sweep: every third seed drops packets,
+  // every fifth duplicates, half the seeds reorder (non-FIFO links).
+  s.link = sim::LinkModel{1, 5, 0.0, /*fifo=*/seed % 2 == 0};
+  if (seed % 3 == 0) s.link.loss = 0.05;
+  s.link.duplicate = seed % 5 == 0 ? 0.05 : 0.0;
+
+  const std::size_t node_count =
+      config.min_nodes + rng.next_below(config.max_nodes - config.min_nodes + 1);
+  std::vector<std::uint64_t> members;  // ids currently expected alive
+  TimeMs t = 1000;
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const std::uint64_t id = (i + 1) * 10;  // 10, 20, 30, ...
+    members.push_back(id);
+    ScheduleEvent e;
+    e.kind = ScheduleEvent::Kind::kJoin;
+    e.at = t;
+    e.node = id;
+    s.events.push_back(e);
+    t += config.join_stagger_ms;
+  }
+  std::uint64_t next_fresh_id = (node_count + 1) * 10;
+  t += config.warmup_ms;
+
+  std::vector<cats::RingKey> keys;
+  for (std::size_t i = 0; i < config.keys; ++i) {
+    keys.push_back(cats::hash_to_ring("campaign-k" + std::to_string(i)));
+  }
+  std::uint8_t vc = 0;
+
+  auto emit_op = [&](TimeMs at) {
+    ScheduleEvent e;
+    e.at = at;
+    e.node = members[rng.next_below(members.size())];
+    e.key = keys[rng.next_below(keys.size())];
+    if (rng.next_below(2) == 0) {
+      e.kind = ScheduleEvent::Kind::kPut;
+      e.value = ++vc == 0 ? ++vc : vc;  // skip 0: "not found" sentinel stays unambiguous
+    } else {
+      e.kind = ScheduleEvent::Kind::kGet;
+    }
+    s.events.push_back(e);
+  };
+
+  auto emit_volley = [&](TimeMs at) {
+    const std::size_t n = config.min_ops_per_volley +
+                          rng.next_below(config.max_ops_per_volley - config.min_ops_per_volley + 1);
+    for (std::size_t i = 0; i < n; ++i) emit_op(at + static_cast<TimeMs>(i) * 40);
+    return at + static_cast<TimeMs>(n) * 40;
+  };
+
+  /// A partition composition over the current members, chosen from the same
+  /// four families as the PR 6 sweep (isolated node; 2|majority with the
+  /// bootstrap server on either side; adjacent split).
+  auto emit_partition = [&](TimeMs at) {
+    ScheduleEvent e;
+    e.kind = ScheduleEvent::Kind::kPartition;
+    e.at = at;
+    std::vector<std::uint32_t> a, b;
+    b.push_back(1);  // bootstrap server host
+    const std::size_t style = rng.next_below(4);
+    const std::size_t pivot = rng.next_below(members.size());
+    const std::size_t minority = style == 0 ? 1 : std::max<std::size_t>(1, members.size() / 2);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const std::uint32_t h = host_of(members[(pivot + i) % members.size()]);
+      (i < minority ? a : b).push_back(h);
+    }
+    if (style == 2) {
+      // Bootstrap server sides with the minority.
+      a.push_back(1);
+      b.erase(b.begin());
+    }
+    e.groups = {std::move(a), std::move(b)};
+    s.events.push_back(e);
+  };
+
+  // Pre-partition baseline.
+  t = emit_volley(t) + 3000;
+
+  const std::size_t cycles =
+      config.min_partition_cycles +
+      rng.next_below(config.max_partition_cycles - config.min_partition_cycles + 1);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    if (config.enable_skew && rng.next_below(3) == 0) {
+      ScheduleEvent e;
+      e.kind = ScheduleEvent::Kind::kSkew;
+      e.at = t;
+      e.node = members[rng.next_below(members.size())];
+      e.skew_permille = rng.next_below(2) == 0 ? 500 : 1800;
+      s.events.push_back(e);
+    }
+    emit_partition(t);
+    // First volley lands mid-cut (failure detectors still evicting the far
+    // side); the second after each side's ring has converged on itself —
+    // pre-fix, the window where both sides commit divergently.
+    t = emit_volley(t + 200);
+    t += config.mid_cut_settle_ms;
+    t = emit_volley(t);
+    t += config.converged_settle_ms;
+    ScheduleEvent heal;
+    heal.kind = ScheduleEvent::Kind::kHeal;
+    heal.at = t;
+    s.events.push_back(heal);
+    t += config.heal_settle_ms;
+    if (config.enable_churn && seed % 3 == 1) {
+      ScheduleEvent e;
+      e.kind = ScheduleEvent::Kind::kJoin;
+      e.at = t;
+      e.node = next_fresh_id;
+      members.push_back(next_fresh_id);
+      next_fresh_id += 10;
+      s.events.push_back(e);
+      t += config.churn_settle_ms;
+    } else if (config.enable_churn && seed % 3 == 2 && members.size() > 2) {
+      ScheduleEvent e;
+      e.kind = ScheduleEvent::Kind::kFail;
+      e.at = t;
+      const std::size_t victim = rng.next_below(members.size());
+      e.node = members[victim];
+      members.erase(members.begin() + static_cast<std::ptrdiff_t>(victim));
+      s.events.push_back(e);
+      t += config.churn_settle_ms;
+    }
+  }
+
+  // Post-heal volley from the survivors.
+  t = emit_volley(t + 2000);
+  s.horizon = t + config.tail_ms;
+  sort_events(s);
+  return s;
+}
+
+// ---- serialization -------------------------------------------------------
+
+std::string to_text(const FaultSchedule& s) {
+  std::ostringstream os;
+  os << "catscampaign v1\n";
+  os << "seed " << s.seed << "\n";
+  os << "link " << s.link.min_latency << " " << s.link.max_latency << " " << s.link.loss << " "
+     << (s.link.fifo ? 1 : 0) << " " << s.link.duplicate << "\n";
+  os << "horizon " << s.horizon << "\n";
+  os << "bug " << (s.inject_stale_view_bug ? 1 : 0) << "\n";
+  for (const ScheduleEvent& e : s.events) {
+    os << "event ";
+    switch (e.kind) {
+      case ScheduleEvent::Kind::kJoin:
+        os << "join " << e.at << " " << e.node;
+        break;
+      case ScheduleEvent::Kind::kFail:
+        os << "fail " << e.at << " " << e.node;
+        break;
+      case ScheduleEvent::Kind::kPut:
+        os << "put " << e.at << " " << e.node << " " << e.key << " "
+           << static_cast<unsigned>(e.value);
+        break;
+      case ScheduleEvent::Kind::kGet:
+        os << "get " << e.at << " " << e.node << " " << e.key;
+        break;
+      case ScheduleEvent::Kind::kSkew:
+        os << "skew " << e.at << " " << e.node << " " << e.skew_permille;
+        break;
+      case ScheduleEvent::Kind::kHeal:
+        os << "heal " << e.at;
+        break;
+      case ScheduleEvent::Kind::kPartition: {
+        os << "partition " << e.at << " ";
+        for (std::size_t g = 0; g < e.groups.size(); ++g) {
+          if (g != 0) os << "|";
+          for (std::size_t i = 0; i < e.groups[g].size(); ++i) {
+            if (i != 0) os << ",";
+            os << e.groups[g][i];
+          }
+        }
+        break;
+      }
+    }
+    os << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+bool parse_schedule(std::istream& in, FaultSchedule* out, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  FaultSchedule s;
+  std::string line;
+  if (!std::getline(in, line) || line != "catscampaign v1") {
+    return fail("missing 'catscampaign v1' header");
+  }
+  bool saw_end = false;
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    const std::string where = " (line " + std::to_string(lineno) + ")";
+    if (word == "seed") {
+      if (!(ls >> s.seed)) return fail("bad seed" + where);
+    } else if (word == "link") {
+      int fifo = 0;
+      if (!(ls >> s.link.min_latency >> s.link.max_latency >> s.link.loss >> fifo >>
+            s.link.duplicate)) {
+        return fail("bad link line" + where);
+      }
+      s.link.fifo = fifo != 0;
+    } else if (word == "horizon") {
+      if (!(ls >> s.horizon)) return fail("bad horizon" + where);
+    } else if (word == "bug") {
+      int b = 0;
+      if (!(ls >> b)) return fail("bad bug line" + where);
+      s.inject_stale_view_bug = b != 0;
+    } else if (word == "event") {
+      std::string kind;
+      ScheduleEvent e;
+      if (!(ls >> kind >> e.at)) return fail("bad event line" + where);
+      if (kind == "join" || kind == "fail") {
+        e.kind = kind == "join" ? ScheduleEvent::Kind::kJoin : ScheduleEvent::Kind::kFail;
+        if (!(ls >> e.node)) return fail("bad " + kind + " event" + where);
+      } else if (kind == "put") {
+        e.kind = ScheduleEvent::Kind::kPut;
+        unsigned v = 0;
+        if (!(ls >> e.node >> e.key >> v) || v > 255) return fail("bad put event" + where);
+        e.value = static_cast<std::uint8_t>(v);
+      } else if (kind == "get") {
+        e.kind = ScheduleEvent::Kind::kGet;
+        if (!(ls >> e.node >> e.key)) return fail("bad get event" + where);
+      } else if (kind == "skew") {
+        e.kind = ScheduleEvent::Kind::kSkew;
+        if (!(ls >> e.node >> e.skew_permille)) return fail("bad skew event" + where);
+      } else if (kind == "heal") {
+        e.kind = ScheduleEvent::Kind::kHeal;
+      } else if (kind == "partition") {
+        e.kind = ScheduleEvent::Kind::kPartition;
+        std::string spec;
+        if (!(ls >> spec)) return fail("bad partition event" + where);
+        std::vector<std::uint32_t> group;
+        std::string num;
+        for (char c : spec + "|") {
+          if (c == ',' || c == '|') {
+            if (!num.empty()) {
+              group.push_back(static_cast<std::uint32_t>(std::stoul(num)));
+              num.clear();
+            }
+            if (c == '|') {
+              if (group.empty()) return fail("empty partition group" + where);
+              e.groups.push_back(std::move(group));
+              group.clear();
+            }
+          } else if (c >= '0' && c <= '9') {
+            num += c;
+          } else {
+            return fail("bad partition spec" + where);
+          }
+        }
+      } else {
+        return fail("unknown event kind '" + kind + "'" + where);
+      }
+      s.events.push_back(std::move(e));
+    } else if (word == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return fail("unknown directive '" + word + "'" + where);
+    }
+  }
+  if (!saw_end) return fail("missing 'end'");
+  sort_events(s);
+  *out = std::move(s);
+  return true;
+}
+
+bool parse_schedule_text(const std::string& text, FaultSchedule* out, std::string* error) {
+  std::istringstream in(text);
+  return parse_schedule(in, out, error);
+}
+
+}  // namespace kompics::testkit

@@ -1,0 +1,100 @@
+#pragma once
+
+// Fault schedules for the campaign harness (ISSUE 7, tentpole part 2).
+//
+// A FaultSchedule is a fully self-contained, replayable description of one
+// simulated run: the seed (which fixes every latency/loss/protocol RNG
+// draw), the link model, and a time-ordered list of events — cluster
+// membership (join/fail), workload operations (put/get), and faults
+// (partial partitions, heals, per-node timer skew). Schedules are
+// *generated* deterministically from a seed by generate_schedule(), so a
+// sweep needs to ship only seeds; when a seed fails, the expanded schedule
+// is what the shrinker mutates and what gets serialized as the replayable
+// artifact (schedule files round-trip through to_text()/parse_schedule()).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cats/ring_key.hpp"
+#include "kompics/clock.hpp"
+#include "sim/network_emulator.hpp"
+
+namespace kompics::testkit {
+
+/// One timed action of a campaign run.
+struct ScheduleEvent {
+  enum class Kind : std::uint8_t {
+    kJoin,       ///< node joins the cluster
+    kFail,       ///< node crash-stops (subtree destroyed)
+    kPut,        ///< put(node, key, {value})
+    kGet,        ///< get(node, key)
+    kPartition,  ///< split hosts into the given groups
+    kHeal,       ///< remove all partitions
+    kSkew,       ///< scale the node's timer rate (permille, 1000 = nominal)
+  };
+
+  Kind kind = Kind::kJoin;
+  TimeMs at = 0;
+  std::uint64_t node = 0;                            // join/fail/put/get/skew
+  cats::RingKey key = 0;                             // put/get
+  std::uint8_t value = 0;                            // put
+  std::uint32_t skew_permille = 1000;                // skew
+  std::vector<std::vector<std::uint32_t>> groups;    // partition (host ids)
+};
+
+/// A complete replayable run description.
+struct FaultSchedule {
+  std::uint64_t seed = 1;
+  sim::LinkModel link;
+  TimeMs horizon = 0;  ///< virtual end time (run_until after the last event)
+  bool inject_stale_view_bug = false;  ///< params.hpp bug emulation
+  std::vector<ScheduleEvent> events;   ///< sorted by `at` (ties: list order)
+
+  /// Shrink metric (acceptance: minimal trace <= 25% of this).
+  std::size_t length() const { return events.size(); }
+};
+
+/// Knobs for the seed-driven generator. Defaults produce a rich schedule
+/// (~50-80 events: staggered joins, several op volleys, 1-2 partition/heal
+/// cycles, churn, timer skew) so the shrinker has real material to cut.
+struct GeneratorConfig {
+  std::size_t min_nodes = 4;
+  std::size_t max_nodes = 6;
+  std::size_t keys = 2;                  ///< distinct keys in the workload
+  std::size_t min_partition_cycles = 1;  ///< partition -> volleys -> heal
+  std::size_t max_partition_cycles = 2;
+  std::size_t min_ops_per_volley = 3;
+  std::size_t max_ops_per_volley = 7;
+  bool enable_churn = true;  ///< post-heal join/crash on ~2/3 of seeds
+  bool enable_skew = true;   ///< per-node timer skew on ~1/3 of seeds
+  DurationMs join_stagger_ms = 300;
+  DurationMs warmup_ms = 8000;       ///< after last join, before first op
+  DurationMs mid_cut_settle_ms = 6000;
+  DurationMs converged_settle_ms = 4000;
+  DurationMs heal_settle_ms = 12000;
+  DurationMs churn_settle_ms = 5000;
+  DurationMs tail_ms = 7000;         ///< horizon margin after the last event
+  bool inject_stale_view_bug = false;
+};
+
+/// Expands `seed` into a concrete schedule. Deterministic: same (seed,
+/// config) -> identical schedule, byte for byte.
+FaultSchedule generate_schedule(std::uint64_t seed, const GeneratorConfig& config = {});
+
+/// Node id -> emulated host id. Matches CatsSimulator::addr_of (host 1 is
+/// the bootstrap server).
+std::uint32_t host_of(std::uint64_t node_id);
+
+// ---- serialization -------------------------------------------------------
+
+/// Serializes a schedule to the line-based `catscampaign v1` text format.
+std::string to_text(const FaultSchedule& s);
+
+/// Parses the to_text() format. Returns false and sets `error` on malformed
+/// input. Accepts events in any order (they are re-sorted by time).
+bool parse_schedule(std::istream& in, FaultSchedule* out, std::string* error);
+bool parse_schedule_text(const std::string& text, FaultSchedule* out, std::string* error);
+
+}  // namespace kompics::testkit

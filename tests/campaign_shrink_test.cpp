@@ -1,0 +1,88 @@
+// Shrinking acceptance test (ISSUE 7): re-introduce the PR 6 bug — stale
+// view acks counted toward quorums (plus the rest of the pre-consistent-
+// quorums window the params_.inject_stale_view_bug flag re-opens) — and
+// prove the campaign harness (a) catches it within the first seeds, and
+// (b) delta-debugs the failing schedule down to <= 25% of its original
+// length while the minimal schedule still reproduces the failure, also
+// after a serialize/parse round trip (the replay artifact is faithful).
+
+#include <gtest/gtest.h>
+
+#include "testkit/campaign.hpp"
+
+namespace kompics::testkit::test {
+namespace {
+
+/// Finds the first seed in [1, 30] whose schedule fails under the injected
+/// bug. The fixed protocol passes all of these (cats_campaign_test); the
+/// divergence window re-opened by the flag historically fails ~1 in 4.
+std::uint64_t first_failing_seed(const GeneratorConfig& gen, FaultSchedule* schedule,
+                                 RunResult* result) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    *schedule = generate_schedule(seed, gen);
+    *result = run_schedule(*schedule, default_run_config());
+    if (!result->ok) return seed;
+  }
+  return 0;
+}
+
+TEST(CampaignShrink, InjectedStaleViewBugIsCaughtAndShrunkToMinimalTrace) {
+  GeneratorConfig gen;
+  gen.inject_stale_view_bug = true;
+
+  FaultSchedule failing;
+  RunResult original;
+  const std::uint64_t seed = first_failing_seed(gen, &failing, &original);
+  ASSERT_NE(seed, 0u) << "the re-introduced stale-view bug must be caught within 30 seeds";
+  ASSERT_FALSE(original.failure.empty());
+
+  const ShrinkResult shrunk = shrink_schedule(failing, default_run_config());
+  EXPECT_LE(shrunk.minimal_length * 4, shrunk.original_length)
+      << "acceptance: minimal trace <= 25% of the original schedule ("
+      << shrunk.minimal_length << " of " << shrunk.original_length << " events, "
+      << shrunk.runs << " shrink runs)";
+  EXPECT_FALSE(shrunk.failure.empty());
+
+  // The minimal schedule must still fail on a fresh run...
+  const RunResult replay = run_schedule(shrunk.minimal, default_run_config());
+  EXPECT_FALSE(replay.ok) << "shrunk schedule no longer reproduces";
+
+  // ...and after the serialize/parse round trip a replay artifact goes
+  // through (this is exactly what campaign_runner --replay executes).
+  FaultSchedule parsed;
+  std::string error;
+  ASSERT_TRUE(parse_schedule_text(to_text(shrunk.minimal), &parsed, &error)) << error;
+  const RunResult from_artifact = run_schedule(parsed, default_run_config());
+  EXPECT_FALSE(from_artifact.ok) << "artifact replay no longer reproduces";
+}
+
+TEST(CampaignShrink, ParallelSweepCatchesTheBugAndAgreesWithSequential) {
+  // The fork-based parallel sweep path must report the same verdicts as the
+  // inline path (workers only partition the seed space).
+  GeneratorConfig gen;
+  gen.inject_stale_view_bug = true;
+
+  const SweepResult seq = sweep_seeds(1, 12, /*jobs=*/1, gen, default_run_config());
+  const SweepResult par = sweep_seeds(1, 12, /*jobs=*/3, gen, default_run_config());
+  EXPECT_FALSE(seq.all_passed()) << "the injected bug must surface in the first dozen seeds";
+  ASSERT_EQ(par.failures.size(), seq.failures.size());
+  EXPECT_EQ(par.passed, seq.passed);
+  for (std::size_t i = 0; i < seq.failures.size(); ++i) {
+    EXPECT_EQ(par.failures[i].seed, seq.failures[i].seed);
+  }
+}
+
+TEST(CampaignShrink, ShrinkingAPassingScheduleIsRejectedGracefully) {
+  // shrink_schedule contracts on a failing input; on a passing one it must
+  // come back with the input (nothing smaller can "still fail") and report
+  // the empty failure from its final verification run.
+  const FaultSchedule passing = generate_schedule(1);
+  ASSERT_TRUE(run_schedule(passing, default_run_config()).ok);
+  const ShrinkResult r = shrink_schedule(passing, default_run_config(),
+                                         ShrinkOptions{/*max_runs=*/40, /*tail_ms=*/7000});
+  EXPECT_EQ(r.minimal_length, r.original_length);
+  EXPECT_TRUE(r.failure.empty());
+}
+
+}  // namespace
+}  // namespace kompics::testkit::test

@@ -1,0 +1,106 @@
+// Campaign smoke sweep (ISSUE 7): the 50-seed preset that replaces the old
+// cats_quorum_sweep_test. Every seed expands deterministically into a fault
+// schedule (staggered joins, op volleys, partial partitions with the four
+// split families, heals, churn, timer skew, lossy/duplicating/reordering
+// links), replays on the simulator, and is checked with the Wing & Gong
+// linearizability checker plus the per-component invariant hooks. Failures
+// print the exact single-seed repro command.
+//
+// Runs sequentially (jobs=1) so the same binary is TSan-clean; the parallel
+// fork-based sweep path is covered by campaign_shrink_test and exercised at
+// scale by scripts/campaign.sh / the nightly lane.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testkit/campaign.hpp"
+
+namespace kompics::testkit::test {
+namespace {
+
+TEST(CatsCampaign, GeneratorIsDeterministic) {
+  const FaultSchedule a = generate_schedule(7);
+  const FaultSchedule b = generate_schedule(7);
+  EXPECT_EQ(to_text(a), to_text(b));
+  const FaultSchedule c = generate_schedule(8);
+  EXPECT_NE(to_text(a), to_text(c)) << "different seeds must differ";
+}
+
+TEST(CatsCampaign, GeneratorProducesRichSchedules) {
+  // The shrinker needs real material to cut: every seed must carry joins,
+  // workload, and at least one partition/heal cycle.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FaultSchedule s = generate_schedule(seed);
+    EXPECT_GE(s.length(), 20u) << "seed " << seed;
+    std::size_t joins = 0, ops = 0, partitions = 0, heals = 0;
+    for (const ScheduleEvent& e : s.events) {
+      joins += e.kind == ScheduleEvent::Kind::kJoin;
+      ops += e.kind == ScheduleEvent::Kind::kPut || e.kind == ScheduleEvent::Kind::kGet;
+      partitions += e.kind == ScheduleEvent::Kind::kPartition;
+      heals += e.kind == ScheduleEvent::Kind::kHeal;
+    }
+    EXPECT_GE(joins, 4u) << "seed " << seed;
+    EXPECT_GE(ops, 10u) << "seed " << seed;
+    EXPECT_GE(partitions, 1u) << "seed " << seed;
+    EXPECT_EQ(partitions, heals) << "every cut heals (seed " << seed << ")";
+    EXPECT_GT(s.horizon, s.events.back().at) << "horizon leaves settle time";
+  }
+}
+
+TEST(CatsCampaign, SchedulesRoundTripThroughText) {
+  for (std::uint64_t seed : {1ull, 3ull, 5ull, 12ull}) {
+    const FaultSchedule s = generate_schedule(seed);
+    FaultSchedule parsed;
+    std::string error;
+    ASSERT_TRUE(parse_schedule_text(to_text(s), &parsed, &error)) << error;
+    EXPECT_EQ(to_text(parsed), to_text(s)) << "seed " << seed;
+  }
+}
+
+TEST(CatsCampaign, ParserRejectsMalformedInput) {
+  FaultSchedule out;
+  std::string error;
+  EXPECT_FALSE(parse_schedule_text("not a schedule\n", &out, &error));
+  EXPECT_NE(error.find("catscampaign v1"), std::string::npos);
+
+  EXPECT_FALSE(parse_schedule_text("catscampaign v1\nevent warp 5 10\nend\n", &out, &error));
+  EXPECT_NE(error.find("unknown event kind"), std::string::npos);
+  EXPECT_NE(error.find("line 2"), std::string::npos) << "errors carry line numbers: " << error;
+
+  EXPECT_FALSE(parse_schedule_text("catscampaign v1\nseed 1\n", &out, &error));
+  EXPECT_NE(error.find("missing 'end'"), std::string::npos);
+}
+
+TEST(CatsCampaign, ReproCommandNamesSeedAndBugFlag) {
+  GeneratorConfig gen;
+  EXPECT_EQ(seed_repro_command("campaign_runner", 42, gen), "campaign_runner --seed 42");
+  gen.inject_stale_view_bug = true;
+  EXPECT_EQ(seed_repro_command("campaign_runner", 42, gen),
+            "campaign_runner --seed 42 --inject-stale-view-bug");
+}
+
+TEST(CatsCampaign, FiftySeedSmokeSweepIsLinearizableWithInvariantsClean) {
+  // The smoke preset: same seed count as the retired PR 6 sweep, but every
+  // schedule now also carries churn and timer skew, and every run is
+  // additionally checked against the component invariants.
+  const GeneratorConfig gen;
+  const SweepResult sweep = sweep_seeds(1, 50, /*jobs=*/1, gen, default_run_config());
+  std::ostringstream all;
+  for (const SeedOutcome& f : sweep.failures) {
+    all << "seed " << f.seed << ":\n" << f.failure
+        << "repro: " << seed_repro_command("campaign_runner", f.seed, gen) << "\n";
+  }
+  EXPECT_TRUE(sweep.all_passed()) << all.str();
+  EXPECT_EQ(sweep.passed, 50u);
+}
+
+TEST(CatsCampaign, RunRecordsHistoryAndSteps) {
+  const RunResult r = run_schedule(generate_schedule(1), default_run_config());
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_GE(r.ops, 10u) << "the workload volleys were applied";
+  EXPECT_GT(r.steps, 1000u) << "the simulation actually executed timed actions";
+}
+
+}  // namespace
+}  // namespace kompics::testkit::test

@@ -1,0 +1,173 @@
+// The ConsistentABD coordinator path, rewritten on the TestKit event-stream
+// DSL (ISSUE 7 satellite; originals lived in abd_protocol_test.cpp as
+// hand-rolled harness tests). The DSL versions assert strictly *more* than
+// the originals: the exact emission order of every protocol message enters
+// the expectation stream, and the "must not respond yet" checks are real
+// timed silence windows instead of point-in-time empty-vector probes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cats/abd.hpp"
+#include "testkit/event_stream.hpp"
+
+namespace kompics::cats::test {
+namespace {
+
+using testkit::PortHandle;
+using testkit::Result;
+using testkit::TestContext;
+using testkit::TestProbe;
+
+struct AbdDslTest : ::testing::Test {
+  AbdDslTest() {
+    CatsParams params;
+    params.op_timeout_ms = 1000;
+    params.op_max_retries = 2;
+    ctx = std::make_unique<TestContext>(9, [this, params](TestProbe& p, sim::SimulatorCore&) {
+      Component abd = p.make<ConsistentABD>();
+      abd.control()->trigger(make_event<ConsistentABD::Init>(self, params));
+      return abd;
+    });
+    router = ctx->monitor_required<Router>();
+    net = ctx->monitor_required<net::Network>();
+    putget = ctx->monitor_provided<PutGet>();
+    ctx->attach_sim_timer();
+  }
+
+  // Replica replies, echoing the phase view as a correct replica does.
+  EventPtr read_ack(const AbdReadMsg& to, VersionTag tag, bool exists, Value v, Address from) {
+    return make_event<AbdReadAckMsg>(from, to.source(), to.op, to.key, to.view, tag, exists,
+                                     std::move(v));
+  }
+  EventPtr write_ack(const AbdWriteMsg& to, Address from) {
+    return make_event<AbdWriteAckMsg>(from, to.source(), to.op, to.key, to.view);
+  }
+  EventPtr lookup_answer(const LookupRequest& req, std::uint64_t view_version) {
+    return make_event<LookupResponse>(req.id, req.key, group, view_version);
+  }
+
+  ConsistentABD& abd() { return ctx->cut().definition_as<ConsistentABD>(); }
+
+  NodeRef self{100, Address::node(1)};
+  // The coordinator is NOT a group member here — the protocol must not care.
+  std::vector<NodeRef> group{NodeRef{10, Address::node(10)}, NodeRef{20, Address::node(20)},
+                             NodeRef{30, Address::node(30)}};
+  std::unique_ptr<TestContext> ctx;
+  PortHandle router, net, putget;
+};
+
+TEST_F(AbdDslTest, PutRunsReadThenWritePhaseAndAcksAtQuorum) {
+  LookupRequest lookup{0, 0, 0};
+  std::vector<AbdReadMsg> reads;
+  std::vector<AbdWriteMsg> writes;
+
+  ctx->trigger(putget, make_event<PutRequest>(1, 555, Value{1}))
+      .expect<LookupRequest>(router, [&](const LookupRequest& r) { lookup = r; })
+      .trigger(router, [&] { return lookup_answer(lookup, 1); })
+      // Read phase queries the whole group — exactly three reads, no more.
+      .repeat(3)
+      .expect<AbdReadMsg>(net, [&](const AbdReadMsg& m) { reads.push_back(m); })
+      .end_repeat()
+      .exec([&] {
+        ASSERT_EQ(reads.size(), 3u);
+        EXPECT_EQ(reads[0].view, 1u) << "phases carry the lookup's view version";
+      })
+      // Two read acks (= quorum of 3) with empty replicas start the write
+      // phase; until then the coordinator must emit nothing further.
+      .trigger(net, [&] { return read_ack(reads[0], VersionTag{}, false, {}, Address::node(10)); })
+      .trigger(net, [&] { return read_ack(reads[1], VersionTag{}, false, {}, Address::node(20)); })
+      .repeat(3)
+      .expect<AbdWriteMsg>(net, [&](const AbdWriteMsg& m) { writes.push_back(m); })
+      .end_repeat()
+      .exec([&] {
+        ASSERT_EQ(writes.size(), 3u);
+        EXPECT_EQ(writes[0].tag.counter, 1u) << "fresh key: counter 0+1";
+        EXPECT_TRUE(writes[0].exists);
+      })
+      .trigger(net, [&] { return write_ack(writes[0], Address::node(10)); })
+      .expect_silence(200)  // 1 of 3 is not a quorum: no response may appear
+      .trigger(net, [&] { return write_ack(writes[1], Address::node(20)); })
+      .expect<PutResponse>(putget, [](const PutResponse& r) { return r.ok && r.id == 1; });
+
+  const Result result = ctx->check();
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST_F(AbdDslTest, GetImposesMaxValueBeforeResponding) {
+  LookupRequest lookup{0, 0, 0};
+  std::vector<AbdReadMsg> reads;
+  std::vector<AbdWriteMsg> writes;
+
+  ctx->trigger(putget, make_event<GetRequest>(3, 7))
+      .expect<LookupRequest>(router, [&](const LookupRequest& r) { lookup = r; })
+      .trigger(router, [&] { return lookup_answer(lookup, 1); })
+      .repeat(3)
+      .expect<AbdReadMsg>(net, [&](const AbdReadMsg& m) { reads.push_back(m); })
+      .end_repeat()
+      // Replicas disagree: {3,50}->0xA vs {5,60}->0xB. The get must impose
+      // (write back) the max tag/value before answering.
+      .trigger(net, [&] {
+        return read_ack(reads[0], VersionTag{3, 50}, true, Value{0xA}, Address::node(10));
+      })
+      .trigger(net, [&] {
+        return read_ack(reads[1], VersionTag{5, 60}, true, Value{0xB}, Address::node(20));
+      })
+      .repeat(3)
+      .expect<AbdWriteMsg>(net, [&](const AbdWriteMsg& m) { writes.push_back(m); })
+      .end_repeat()
+      .exec([&] {
+        ASSERT_EQ(writes.size(), 3u);
+        EXPECT_EQ(writes[0].tag, (VersionTag{5, 60})) << "impose retransmits the max tag";
+        EXPECT_EQ(writes[0].value, Value{0xB});
+      })
+      .expect_silence(200)  // must not respond before the impose quorum
+      .trigger(net, [&] { return write_ack(writes[0], Address::node(10)); })
+      .trigger(net, [&] { return write_ack(writes[1], Address::node(20)); })
+      .expect<GetResponse>(putget, [](const GetResponse& r) {
+        return r.ok && r.found && r.value == Value{0xB};
+      });
+
+  const Result result = ctx->check();
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST_F(AbdDslTest, DuplicatedAcksFromOneReplicaDoNotCompleteQuorum) {
+  // Pre-fix, quorum progress was a raw counter (++acks): duplicated
+  // deliveries of one replica's ack (retransmitting transports do that)
+  // could "complete" a 2-of-3 quorum with a single replica's answer.
+  LookupRequest lookup{0, 0, 0};
+  std::vector<AbdReadMsg> reads;
+  std::vector<AbdWriteMsg> writes;
+
+  ctx->trigger(putget, make_event<PutRequest>(9, 21, Value{4}))
+      .expect<LookupRequest>(router, [&](const LookupRequest& r) { lookup = r; })
+      .trigger(router, [&] { return lookup_answer(lookup, 1); })
+      .repeat(3)
+      .expect<AbdReadMsg>(net, [&](const AbdReadMsg& m) { reads.push_back(m); })
+      .end_repeat()
+      // Three copies of ONE replica's read ack: not a quorum, so the write
+      // phase must not start inside the silence window.
+      .trigger(net, [&] { return read_ack(reads[0], VersionTag{}, false, {}, Address::node(10)); })
+      .trigger(net, [&] { return read_ack(reads[0], VersionTag{}, false, {}, Address::node(10)); })
+      .trigger(net, [&] { return read_ack(reads[0], VersionTag{}, false, {}, Address::node(10)); })
+      .expect_silence(150)
+      .trigger(net, [&] { return read_ack(reads[1], VersionTag{}, false, {}, Address::node(20)); })
+      .repeat(3)
+      .expect<AbdWriteMsg>(net, [&](const AbdWriteMsg& m) { writes.push_back(m); })
+      .end_repeat()
+      // Same for the write phase: duplicated write acks from one replica.
+      .trigger(net, [&] { return write_ack(writes[0], Address::node(10)); })
+      .trigger(net, [&] { return write_ack(writes[0], Address::node(10)); })
+      .expect_silence(150)
+      .trigger(net, [&] { return write_ack(writes[1], Address::node(20)); })
+      .expect<PutResponse>(putget, [](const PutResponse& r) { return r.ok && r.id == 9; });
+
+  const Result result = ctx->check();
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+}  // namespace
+}  // namespace kompics::cats::test

@@ -1,0 +1,143 @@
+// The consistent-quorum reconfiguration gates, rewritten on the TestKit
+// event-stream DSL (ISSUE 7 satellite; originals lived in
+// abd_protocol_test.cpp). Replica side: the view gate must nack unversioned
+// phases, wrong view versions, and fenced ranges — in exactly that order on
+// the wire. Coordinator side: a nack majority must trigger the fast retry
+// only after the backoff. The DSL versions pin the full message order and
+// measure the backoff in virtual time, which the hand-rolled originals
+// could only approximate with coarse run_until windows.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cats/abd.hpp"
+#include "testkit/event_stream.hpp"
+
+namespace kompics::cats::test {
+namespace {
+
+using testkit::PortHandle;
+using testkit::Result;
+using testkit::TestContext;
+using testkit::TestProbe;
+
+struct ReconfigDslTest : ::testing::Test {
+  ReconfigDslTest() {
+    CatsParams params;
+    params.op_timeout_ms = 1000;
+    params.op_max_retries = 2;
+    ctx = std::make_unique<TestContext>(9, [this, params](TestProbe& p, sim::SimulatorCore&) {
+      Component abd = p.make<ConsistentABD>();
+      abd.control()->trigger(make_event<ConsistentABD::Init>(self, params));
+      return abd;
+    });
+    router = ctx->monitor_required<Router>();
+    net = ctx->monitor_required<net::Network>();
+    putget = ctx->monitor_provided<PutGet>();
+    ctx->attach_sim_timer();
+  }
+
+  EventPtr replica_read(OpId op, RingKey key, std::uint64_t view) {
+    return make_event<AbdReadMsg>(peer, self.addr, op, key, view);
+  }
+
+  ConsistentABD& abd() { return ctx->cut().definition_as<ConsistentABD>(); }
+
+  NodeRef self{100, Address::node(1)};
+  Address peer = Address::node(99);
+  Address reconfigurer = Address::node(200);
+  std::vector<NodeRef> group{NodeRef{10, Address::node(10)}, NodeRef{20, Address::node(20)},
+                             NodeRef{30, Address::node(30)}};
+  std::unique_ptr<TestContext> ctx;
+  PortHandle router, net, putget;
+};
+
+TEST_F(ReconfigDslTest, ReplicaGateNacksWrongViewsAndFencedRanges) {
+  // Installing a view answers the parent with an ack — protocol noise for
+  // this test's expectations.
+  ctx->allow<ViewInstallAckMsg>(net);
+
+  ctx
+      // No installed view at all: nack names current_version 0.
+      ->trigger(net, replica_read(0xCAF0001, 77, 1))
+      .expect<AbdNackMsg>(net, [](const AbdNackMsg& m) { return m.current_version == 0; })
+      // Hand the replica an installed view (version 3), as a decided
+      // reconfiguration would.
+      .trigger(net, make_event<ViewInstallMsg>(reconfigurer, self.addr, /*parent_hi=*/0,
+                                               GroupView{0, 0, 3, {self}},
+                                               std::vector<KeyState>{}))
+      // Wrong view version: the nack names the installed version.
+      .trigger(net, replica_read(0xCAF0002, 77, 2))
+      .expect<AbdNackMsg>(net, [](const AbdNackMsg& m) { return m.current_version == 3; })
+      // Matching version: served.
+      .trigger(net, replica_read(0xCAF0003, 77, 3))
+      .expect<AbdReadAckMsg>(net, [](const AbdReadAckMsg& m) { return !m.exists; })
+      // A Prepare for the next version fences the range: even correctly
+      // versioned phases are refused from then on (this is what guarantees
+      // a majority-promised old view can never assemble another quorum).
+      .trigger(net,
+               make_event<ViewPrepareMsg>(reconfigurer, self.addr, 0, 0, /*target=*/4,
+                                          Ballot{7, 42}))
+      .expect<ViewPromiseMsg>(net, [](const ViewPromiseMsg& m) { return m.ok; })
+      .trigger(net, replica_read(0xCAF0004, 77, 3))
+      .expect<AbdNackMsg>(net)
+      .exec([&] { EXPECT_EQ(abd().counters().view_fences, 1u); });
+
+  const Result result = ctx->check();
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST_F(ReconfigDslTest, NackMajorityTriggersFastRetryAfterBackoff) {
+  LookupRequest lookup{0, 0, 0};
+  LookupRequest retry_lookup{0, 0, 0};
+  std::vector<AbdReadMsg> reads;
+  TimeMs nacked_at = 0;
+
+  ctx->trigger(putget, make_event<PutRequest>(11, 23, Value{6}))
+      .expect<LookupRequest>(router, [&](const LookupRequest& r) { lookup = r; })
+      .trigger(router,
+               [&] { return make_event<LookupResponse>(lookup.id, lookup.key, group, 1); })
+      .repeat(3)
+      .expect<AbdReadMsg>(net, [&](const AbdReadMsg& m) { reads.push_back(m); })
+      .end_repeat()
+      // Two of three replicas refuse the view: a quorum can never form under
+      // it, so the coordinator schedules the fast retry.
+      .trigger(net, [&] {
+        return make_event<AbdNackMsg>(Address::node(10), reads[0].source(), reads[0].op,
+                                      reads[0].key, /*current_version=*/9);
+      })
+      .trigger(net, [&] {
+        return make_event<AbdNackMsg>(Address::node(20), reads[1].source(), reads[1].op,
+                                      reads[1].key, /*current_version=*/9);
+      })
+      .settle(0)  // drain the nack deliveries before inspecting counters
+      .exec([&] {
+        EXPECT_EQ(abd().counters().fast_retries, 1u);
+        nacked_at = ctx->now();
+      })
+      // The retry re-resolves the group — but only after the 50 ms backoff
+      // (an instant retry would exhaust every attempt inside the fence
+      // window of a single in-flight view change), and far before the
+      // 1000 ms op timeout.
+      .expect<LookupRequest>(router, [&](const LookupRequest& r) { retry_lookup = r; })
+      .exec([&] {
+        EXPECT_GE(ctx->now(), nacked_at + 50) << "retry must wait out the backoff";
+        EXPECT_LT(ctx->now(), nacked_at + 1000) << "fast retry beats the op timeout";
+      })
+      .trigger(router,
+               [&] {
+                 return make_event<LookupResponse>(retry_lookup.id, retry_lookup.key, group, 9);
+               })
+      // A fresh read phase goes out under the new view.
+      .repeat(3)
+      .expect<AbdReadMsg>(net, [](const AbdReadMsg& m) { return m.view == 9; })
+      .end_repeat();
+
+  const Result result = ctx->check();
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+}  // namespace
+}  // namespace kompics::cats::test
