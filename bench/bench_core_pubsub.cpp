@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "kompics/kompics.hpp"
+#include "kompics/protocol.hpp"
 
 using namespace kompics;
 
@@ -56,6 +57,37 @@ class Counter : public ComponentDefinition {
   long count = 0;
 };
 
+class ParkPort : public PortType {
+ public:
+  ParkPort() {
+    set_name("ParkPort");
+    negative<Tick>();
+    positive<Tick>();
+  }
+};
+
+// Counter with the coroutine protocol layer live on the component: a parked
+// frame holds a correlation subscription on a second (never-connected) port,
+// so the ProtocolHost, hidden resume port and frame bookkeeping all exist —
+// but the measured dispatch path is byte-for-byte the plain subscribe path.
+// BM_DispatchHandlersProto vs BM_DispatchHandlers is the coroutine layer's
+// tax on non-coroutine dispatch (budget: <= 3%, scripts/bench_pubsub.sh
+// --protocol enforces it).
+class ProtoCounter : public ComponentDefinition {
+ public:
+  explicit ProtoCounter(int handlers) {
+    for (int i = 0; i < handlers; ++i) {
+      subscribe<Tick>(in_, [this](const Tick&) { ++count; });
+    }
+  }
+  protocol::Proto<void> park_forever() {
+    co_await park_.next<Tick>([](const Tick& t) { return t.n < 0; });
+  }
+  Positive<TickPort> in_ = require<TickPort>();
+  Positive<ParkPort> park_ = require<ParkPort>();
+  long count = 0;
+};
+
 class Emitter : public ComponentDefinition {
  public:
   void emit(int n) { trigger(make_event<Tick>(n), out_); }
@@ -73,6 +105,16 @@ class FanMain : public ComponentDefinition {
   }
   Component emitter;
   std::vector<Component> sinks;
+};
+
+class ProtoFanMain : public ComponentDefinition {
+ public:
+  explicit ProtoFanMain(int handlers) {
+    emitter = create<Emitter>();
+    sink = create<ProtoCounter>(handlers);
+    connect(emitter.provided<TickPort>(), sink.required<TickPort>());
+  }
+  Component emitter, sink;
 };
 
 class Relay : public ComponentDefinition {
@@ -120,6 +162,29 @@ void BM_DispatchHandlers(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_DispatchHandlers)->Arg(1)->Arg(2)->Arg(4)->Arg(16);
+
+// The same dispatch as BM_DispatchHandlers, but the subscriber carries a
+// live coroutine layer: a parked frame (correlation subscription + resume
+// machinery on the hidden protocol port) that the measured events never
+// touch. The plain/proto items_per_second ratio is the coroutine layer's
+// overhead on non-coroutine dispatch.
+void BM_DispatchHandlersProto(benchmark::State& state) {
+  auto rt = Runtime::threaded(Config{}, 2, 1);
+  apply_telemetry_mode(*rt);
+  auto main = rt->bootstrap<ProtoFanMain>(static_cast<int>(state.range(0)));
+  rt->await_quiescence();
+  auto& world = main.definition_as<ProtoFanMain>();
+  auto& emitter = world.emitter.definition_as<Emitter>();
+  protocol::spawn(world.sink.definition_as<ProtoCounter>().park_forever());
+  rt->await_quiescence();
+  int n = 0;
+  for (auto _ : state) {
+    emitter.emit(n++);
+    rt->await_quiescence();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DispatchHandlersProto)->Arg(1)->Arg(2)->Arg(4)->Arg(16);
 
 // Fan-out to N subscriber components via N channels (Fig. 6 semantics).
 void BM_FanOutSubscribers(benchmark::State& state) {

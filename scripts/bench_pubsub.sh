@@ -29,8 +29,120 @@
 # captured on a tree *without* the telemetry hooks) is given, the disabled
 # path is compared against it and the ≤3% overhead budget is enforced:
 # exit 1 when the geometric-mean slowdown of "off" exceeds 3%.
+#
+# Coroutine-layer overhead mode:
+#   scripts/bench_pubsub.sh --protocol [BUILD_DIR] [OUT_JSON] [BASELINE_JSON]
+#
+# Runs the BM_DispatchHandlers family and pairs each plain run against its
+# BM_DispatchHandlersProto twin — identical dispatch path, but the subscriber
+# carries a live coroutine frame (ProtocolHost + hidden resume port +
+# correlation subscription). Both sides run in the same process on the same
+# machine, so the ratio isolates the protocol layer's tax on non-coroutine
+# dispatch; the ≤3% budget (geomean plain/proto ≤ 1.03) is enforced with
+# exit 1. Writes OUT_JSON (default: BENCH_protocol.json). If BASELINE_JSON
+# (a BENCH_pubsub.json from a pre-coroutine tree) is given, the plain run is
+# also compared against it — informational, since absolute throughput is not
+# comparable across machines.
 
 set -euo pipefail
+
+if [[ "${1:-}" == "--protocol" ]]; then
+  shift
+  BUILD_DIR="${1:-build}"
+  OUT_JSON="${2:-BENCH_protocol.json}"
+  BASELINE_JSON="${3:-}"
+  MIN_TIME="${BENCH_MIN_TIME:-0.2}"
+  PUBSUB_BIN="$BUILD_DIR/bench/bench_core_pubsub"
+  if [[ ! -x "$PUBSUB_BIN" ]]; then
+    echo "error: $PUBSUB_BIN not found (build the '$BUILD_DIR' tree first)" >&2
+    exit 1
+  fi
+  tmp_json="$(mktemp)"
+  trap 'rm -f "$tmp_json"' EXIT
+  echo "[bench_pubsub] protocol-layer overhead (min_time=$MIN_TIME)..." >&2
+  KOMPICS_TELEMETRY=off "$PUBSUB_BIN" --benchmark_format=json \
+    --benchmark_filter='BM_DispatchHandlers(Proto)?/' \
+    --benchmark_min_time="$MIN_TIME" >"$tmp_json"
+  python3 - "$tmp_json" "$OUT_JSON" "$BASELINE_JSON" <<'PY'
+import json, math, subprocess, sys
+
+bench_path, out_path, baseline_path = sys.argv[1:4]
+
+raw = json.load(open(bench_path))
+runs = {
+    b["name"]: {
+        "real_time_ns": b.get("real_time"),
+        "items_per_second": b.get("items_per_second"),
+    }
+    for b in raw.get("benchmarks", [])
+    if b.get("run_type") != "aggregate"
+}
+
+plain = {n: r for n, r in runs.items() if n.startswith("BM_DispatchHandlers/")}
+proto = {n.replace("Proto", "", 1): r for n, r in runs.items()
+         if n.startswith("BM_DispatchHandlersProto/")}
+
+overhead = {}
+for name, p in plain.items():
+    q = proto.get(name)
+    if q and p.get("items_per_second") and q.get("items_per_second"):
+        overhead[name] = round(p["items_per_second"] / q["items_per_second"], 3)
+if not overhead:
+    print("error: no plain/proto benchmark pairs found", file=sys.stderr)
+    sys.exit(1)
+
+def geomean(ratios):
+    vals = [v for v in ratios.values() if v > 0]
+    return round(math.exp(sum(math.log(v) for v in vals) / len(vals)), 4) if vals else None
+
+gm = geomean(overhead)
+ok = gm is not None and gm <= 1.03
+
+try:
+    rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True).stdout.strip() or None
+except OSError:
+    rev = None
+
+result = {
+    "schema": "kompics-bench-protocol-v1",
+    "context": {
+        "date": raw.get("context", {}).get("date"),
+        "host": raw.get("context", {}).get("host_name"),
+        "num_cpus": raw.get("context", {}).get("num_cpus"),
+        "git_rev": rev,
+    },
+    "plain": plain,
+    "proto": {("BM_DispatchHandlersProto/" + n.split("/", 1)[1]): r
+              for n, r in proto.items()},
+    "overhead_proto_vs_plain": overhead,
+    "geomean_proto_vs_plain": gm,
+    "protocol_overhead_budget": {"limit": 1.03, "ok": ok},
+}
+
+if baseline_path:
+    base = json.load(open(baseline_path))
+    base_micro = base.get("bench_core_pubsub", {})
+    vs_base = {}
+    for name, cur in plain.items():
+        old = base_micro.get(name)
+        if old and old.get("items_per_second") and cur.get("items_per_second"):
+            vs_base[name] = round(old["items_per_second"] / cur["items_per_second"], 3)
+    result["overhead_plain_vs_baseline"] = vs_base
+    result["geomean_plain_vs_baseline"] = geomean(vs_base)
+
+json.dump(result, open(out_path, "w"), indent=2)
+print(f"[bench_pubsub] wrote {out_path}")
+for name in sorted(overhead):
+    print(f"  {name}: {overhead[name]}x proto/plain")
+print(f"  geomean proto/plain: {gm}x (budget 1.03x: {'OK' if ok else 'EXCEEDED'})")
+if result.get("geomean_plain_vs_baseline") is not None:
+    print(f"  geomean vs checked-in baseline: {result['geomean_plain_vs_baseline']}x "
+          f"(informational; baseline machine differs)")
+sys.exit(0 if ok else 1)
+PY
+  exit $?
+fi
 
 if [[ "${1:-}" == "--telemetry" ]]; then
   shift

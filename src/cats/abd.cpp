@@ -29,7 +29,9 @@ ConsistentABD::ConsistentABD() {
     op.key = req.key;
     op.put_value = req.value;
     op.retries_left = params_.op_max_retries;
-    start_op(fresh_id(), std::move(op));
+    const OpId id = fresh_id();
+    ops_.emplace(id, std::move(op));
+    protocol::spawn(run_op(id));
   });
 
   subscribe<GetRequest>(putget_, [this](const GetRequest& req) {
@@ -38,38 +40,9 @@ ConsistentABD::ConsistentABD() {
     op.client_id = req.id;
     op.key = req.key;
     op.retries_left = params_.op_max_retries;
-    start_op(fresh_id(), std::move(op));
-  });
-
-  // ---- router answers ------------------------------------------------------
-
-  subscribe<LookupResponse>(router_, [this](const LookupResponse& resp) {
-    auto it = ops_.find(internal_of(resp.id));
-    if (it == ops_.end() || it->second.phase != Phase::kLookup ||
-        it->second.attempt != attempt_of(resp.id)) {
-      return;  // not ours (shared Router port) or a stale attempt
-    }
-    Op& op = it->second;
-    if (resp.group.empty() ||
-        (resp.view_version == 0 && !params_.inject_stale_view_bug)) {
-      // Ring not converged around the key, or the responsible node has no
-      // installed view yet; the armed op timeout will retry with a fresh
-      // lookup. An unversioned group must never run quorum phases: that is
-      // exactly the window where two sides of a partition could each
-      // assemble an (inconsistent) quorum. (The inject_stale_view_bug
-      // emulation deliberately re-opens that window, params.hpp.)
-      return;
-    }
-    op.group = resp.group;
-    op.view = resp.view_version;
-    op.quorum = op.group.size() / 2 + 1;
-    if (op.type == OpType::kPut && op.tag_chosen) {
-      // Retried put whose tag is already fixed: go straight to (idempotent)
-      // write retransmission; a fresh read phase must not re-tag the value.
-      begin_write_phase(it->first, op);
-    } else {
-      begin_read_phase(it->first, op);
-    }
+    const OpId id = fresh_id();
+    ops_.emplace(id, std::move(op));
+    protocol::spawn(run_op(id));
   });
 
   // ---- replica side --------------------------------------------------------
@@ -119,270 +92,7 @@ ConsistentABD::ConsistentABD() {
             network_);
   });
 
-  // ---- coordinator side ----------------------------------------------------
-
-  subscribe<AbdReadAckMsg>(network_, [this](const AbdReadAckMsg& ack) {
-    auto it = ops_.find(internal_of(ack.op));
-    if (it == ops_.end() || it->second.phase != Phase::kRead ||
-        it->second.attempt != attempt_of(ack.op)) {
-      return;
-    }
-    Op& op = it->second;
-    if (ack.view != op.view) {
-      if (!params_.inject_stale_view_bug) {
-        ++counters_.stale_view_acks_dropped;
-        return;
-      }
-      note_mixed_view_ack(it->first, op, ack.view);
-    }
-    if (!note_address(op.acked, ack.source())) return;  // duplicated delivery
-    if (op.max_tag < ack.tag || (!op.max_exists && ack.exists)) {
-      op.max_tag = ack.tag;
-      op.max_exists = ack.exists;
-      op.max_value = ack.value;
-    }
-    if (op.acked.size() >= op.quorum) {
-      if (op.type == OpType::kGet && !op.max_exists) {
-        // Nothing to impose: answer "not found" directly.
-        finish_op(it->first, op, true);
-      } else {
-        begin_write_phase(it->first, op);
-      }
-    }
-  });
-
-  subscribe<AbdWriteAckMsg>(network_, [this](const AbdWriteAckMsg& ack) {
-    auto it = ops_.find(internal_of(ack.op));
-    if (it == ops_.end() || it->second.phase != Phase::kWrite ||
-        it->second.attempt != attempt_of(ack.op)) {
-      return;
-    }
-    Op& op = it->second;
-    if (ack.view != op.view) {
-      if (!params_.inject_stale_view_bug) {
-        ++counters_.stale_view_acks_dropped;
-        return;
-      }
-      note_mixed_view_ack(it->first, op, ack.view);
-    }
-    if (!note_address(op.acked, ack.source())) return;  // duplicated delivery
-    if (op.acked.size() >= op.quorum) finish_op(it->first, op, true);
-  });
-
-  subscribe<AbdNackMsg>(network_, [this](const AbdNackMsg& nack) {
-    auto it = ops_.find(internal_of(nack.op));
-    if (it == ops_.end() || it->second.phase == Phase::kLookup ||
-        it->second.attempt != attempt_of(nack.op)) {
-      return;
-    }
-    Op& op = it->second;
-    const bool member = std::any_of(op.group.begin(), op.group.end(), [&](const NodeRef& n) {
-      return n.addr == nack.source();
-    });
-    if (!member || !note_address(op.nacked, nack.source())) return;
-    if (op.group.size() - op.nacked.size() < op.quorum) {
-      // Too many replicas reject this view for a quorum to ever form: the
-      // view is being reconfigured under us. Shortcut the op timeout to a
-      // short backoff — long enough for the in-flight view change to
-      // install, unlike an instant retry, which would burn every attempt
-      // inside one fence window.
-      ++counters_.fast_retries;
-      trigger(make_event<timing::CancelTimeout>(op.timeout_id), timer_);
-      auto timeout = timing::schedule<OpTimeout>(params_.fast_retry_backoff_ms, it->first,
-                                                 op.attempt);
-      op.timeout_id = timeout->timeout_id();
-      trigger(timeout, timer_);
-    }
-  });
-
-  // ---- view reconfiguration: acceptor side ---------------------------------
-
-  subscribe<ViewPrepareMsg>(network_, [this](const ViewPrepareMsg& msg) {
-    auto refuse = [&](Ballot promised, std::vector<GroupView> catchup,
-                      std::vector<KeyState> state) {
-      trigger(make_event<ViewPromiseMsg>(self_.addr, msg.source(), msg.range_hi, msg.target,
-                                         msg.ballot, false, promised, false, Ballot{},
-                                         std::vector<GroupView>{}, std::move(catchup),
-                                         std::move(state)),
-              network_);
-    };
-    auto it = ranges_.find(msg.range_hi);
-    if (it == ranges_.end() || it->second.view.version + 1 < msg.target) {
-      // We do not hold this range (it may have been superseded by a newer
-      // view after a split): if a newer installed view covers the proposer's
-      // hi, ship it so the stale proposer can catch up.
-      const RangeState* cover = covering_range(msg.range_hi);
-      if (cover != nullptr && cover->view.version >= msg.target) {
-        refuse(Ballot{}, {cover->view}, dump_range(cover->view.lo, cover->view.hi));
-      } else {
-        refuse(Ballot{}, {}, {});
-      }
-      return;
-    }
-    RangeState& r = it->second;
-    if (r.view.version >= msg.target) {  // already reconfigured past the target
-      refuse(Ballot{}, {r.view}, dump_range(r.view.lo, r.view.hi));
-      return;
-    }
-    // r.view.version == msg.target - 1: we are an acceptor for this decree.
-    Slot& slot = slots_[{msg.range_hi, msg.target}];
-    if (msg.ballot < slot.promised) {
-      refuse(slot.promised, {}, {});
-      return;
-    }
-    slot.promised = msg.ballot;
-    // THE FENCE: from this promise on, the old view refuses ABD phases for
-    // the range. Once a majority of the old view has promised, the old view
-    // can never again assemble a quorum — which is the precondition for the
-    // new view taking over without a divergence window.
-    if (!r.fenced) {
-      r.fenced = true;
-      r.fenced_at = now();
-      ++counters_.view_fences;
-    }
-    trigger(make_event<ViewPromiseMsg>(self_.addr, msg.source(), msg.range_hi, msg.target,
-                                       msg.ballot, true, slot.promised, slot.has_accepted,
-                                       slot.accepted_ballot, slot.accepted_children,
-                                       std::vector<GroupView>{},
-                                       dump_range(r.view.lo, r.view.hi)),
-            network_);
-  });
-
-  subscribe<ViewAcceptMsg>(network_, [this](const ViewAcceptMsg& msg) {
-    auto it = ranges_.find(msg.range_hi);
-    const bool have_old = it != ranges_.end() && it->second.view.version + 1 == msg.target;
-    if (!have_old) {
-      trigger(make_event<ViewAcceptedMsg>(self_.addr, msg.source(), msg.range_hi, msg.target,
-                                          msg.ballot, false),
-              network_);
-      return;
-    }
-    Slot& slot = slots_[{msg.range_hi, msg.target}];
-    if (msg.ballot < slot.promised) {
-      trigger(make_event<ViewAcceptedMsg>(self_.addr, msg.source(), msg.range_hi, msg.target,
-                                          msg.ballot, false),
-              network_);
-      return;
-    }
-    slot.promised = msg.ballot;
-    slot.has_accepted = true;
-    slot.accepted_ballot = msg.ballot;
-    slot.accepted_children = msg.children;
-    if (!it->second.fenced) {
-      it->second.fenced = true;
-      it->second.fenced_at = now();
-      ++counters_.view_fences;
-    }
-    trigger(make_event<ViewAcceptedMsg>(self_.addr, msg.source(), msg.range_hi, msg.target,
-                                        msg.ballot, true),
-            network_);
-  });
-
-  // ---- view reconfiguration: proposer side ---------------------------------
-
-  subscribe<ViewPromiseMsg>(network_, [this](const ViewPromiseMsg& msg) {
-    // A catch-up hint is useful whether or not the proposal it answers is
-    // still current: install (install_view no-ops unless strictly newer).
-    if (!msg.ok && !msg.catchup.empty()) {
-      install_view(msg.catchup[0], msg.state);
-    }
-    auto it = reconfigs_.find(msg.range_hi);
-    if (it == reconfigs_.end()) return;
-    Reconfig& rec = it->second;
-    if (rec.target != msg.target || !(rec.ballot == msg.ballot) ||
-        rec.stage != Reconfig::Stage::kPrepare) {
-      return;
-    }
-    if (!msg.ok) {
-      if (!msg.catchup.empty()) {
-        reconfigs_.erase(it);  // superseded; re-evaluated from the new view
-      } else {
-        rec.highest_rejection = std::max(rec.highest_rejection, msg.promised.round);
-      }
-      return;  // next tick re-proposes with a higher ballot if still needed
-    }
-    if (!rec.parent.has_member(msg.source())) return;
-    if (!note_address(rec.promises, msg.source())) return;
-    // Paxos adopt rule: if any acceptor already accepted children for this
-    // decree, the highest-ballot such proposal is the only one we may pass.
-    if (msg.has_accepted && (!rec.adopted || rec.max_accepted < msg.accepted_ballot)) {
-      rec.adopted = true;
-      rec.max_accepted = msg.accepted_ballot;
-      rec.children = msg.accepted_children;
-    }
-    merge_promise_state(rec, msg.state);
-    if (rec.promises.size() >= rec.parent.members.size() / 2 + 1) {
-      if (!rec.adopted) rec.children = rec.proposed;
-      rec.stage = Reconfig::Stage::kAccept;
-      for (const auto& m : rec.parent.members) {
-        trigger(make_event<ViewAcceptMsg>(self_.addr, m.addr, rec.parent.lo, rec.parent.hi,
-                                          rec.target, rec.ballot, rec.children),
-                network_);
-      }
-    }
-  });
-
-  subscribe<ViewAcceptedMsg>(network_, [this](const ViewAcceptedMsg& msg) {
-    auto it = reconfigs_.find(msg.range_hi);
-    if (it == reconfigs_.end()) return;
-    Reconfig& rec = it->second;
-    if (rec.target != msg.target || !(rec.ballot == msg.ballot) ||
-        rec.stage != Reconfig::Stage::kAccept) {
-      return;
-    }
-    if (!msg.ok) {
-      rec.highest_rejection = std::max(rec.highest_rejection, rec.ballot.round);
-      return;
-    }
-    if (!rec.parent.has_member(msg.source())) return;
-    if (!note_address(rec.accepts, msg.source())) return;
-    if (rec.accepts.size() >= rec.parent.members.size() / 2 + 1) {
-      // Decided: the children replace the parent. Activate them by shipping
-      // installs (with the max-tag state merged from the promise dumps) to
-      // every child member; retransmitted each tick until all ack.
-      rec.stage = Reconfig::Stage::kInstall;
-      ++counters_.reconfigs_decided;
-      send_installs(rec);
-    }
-  });
-
-  // ---- view installation & catch-up ----------------------------------------
-
-  subscribe<ViewInstallMsg>(network_, [this](const ViewInstallMsg& msg) {
-    install_view(msg.child, msg.state);
-    trigger(make_event<ViewInstallAckMsg>(self_.addr, msg.source(), msg.parent_hi, msg.child.hi,
-                                          msg.child.version),
-            network_);
-  });
-
-  subscribe<ViewInstallAckMsg>(network_, [this](const ViewInstallAckMsg& msg) {
-    auto it = reconfigs_.find(msg.parent_hi);
-    if (it == reconfigs_.end() || it->second.stage != Reconfig::Stage::kInstall) return;
-    Reconfig& rec = it->second;
-    const auto child = std::find_if(rec.children.begin(), rec.children.end(),
-                                    [&](const GroupView& c) {
-                                      return c.hi == msg.child_hi && c.version == msg.version;
-                                    });
-    if (child == rec.children.end()) return;
-    note_address(rec.install_acks[msg.child_hi], msg.source());
-    for (const auto& c : rec.children) {
-      auto acked = rec.install_acks.find(c.hi);
-      const std::size_t got = acked == rec.install_acks.end() ? 0 : acked->second.size();
-      if (got < install_recipients(rec, c).size()) return;
-    }
-    reconfigs_.erase(it);  // every old and new member holds the view
-  });
-
-  subscribe<ViewFetchMsg>(network_, [this](const ViewFetchMsg& msg) {
-    for (const auto& [hi, r] : ranges_) {
-      const bool overlaps =
-          in_interval_oc(msg.lo, msg.hi, r.view.hi) || r.view.covers(msg.hi);
-      if (!overlaps) continue;
-      trigger(make_event<ViewInstallMsg>(self_.addr, msg.source(), r.view.hi, r.view,
-                                         dump_range(r.view.lo, r.view.hi)),
-              network_);
-    }
-  });
+  subscribe_view_protocol();  // consensus + installs + catch-up (abd_views.cpp)
 
   // ---- ring & timers -------------------------------------------------------
 
@@ -398,12 +108,6 @@ ConsistentABD::ConsistentABD() {
   });
 
   subscribe<ReconfigTick>(timer_, [this](const ReconfigTick&) { evaluate_reconfigurations(); });
-
-  subscribe<OpTimeout>(timer_, [this](const OpTimeout& t) {
-    auto it = ops_.find(t.op);
-    if (it == ops_.end() || it->second.attempt != t.attempt) return;  // stale/canceled
-    retry_or_fail(t.op);
-  });
 
   subscribe<StatusRequest>(status_, [this](const StatusRequest& req) {
     std::map<std::string, std::string> fields;
@@ -426,74 +130,206 @@ ConsistentABD::ConsistentABD() {
   });
 }
 
-// ---- op state machine ------------------------------------------------------
+// ---- op coordinator (one coroutine frame per client operation) -------------
+//
+// The op "state machine" is now just control flow: run_op's loop IS the retry
+// policy, and the three round coroutines each suspend on the responses they
+// correlate by exact wire op id. Phase transitions, the per-attempt timeout,
+// ack bookkeeping resets and op-table cleanup — previously spread over five
+// subscriptions and six helpers — all live in the frames below.
 
-void ConsistentABD::start_op(OpId internal, Op op) {
-  auto [it, inserted] = ops_.emplace(internal, std::move(op));
-  begin_lookup(internal, it->second);
+protocol::Proto<void> ConsistentABD::run_op(OpId internal) {
+  // Whatever ends this frame — completion, exhausted retries, or the
+  // component being destroyed mid-await — releases the op-table entry.
+  // (unordered_map never moves values, so op stays valid across co_awaits:
+  // only this guard erases the entry.)
+  struct OpGuard {
+    ConsistentABD* abd;
+    OpId id;
+    ~OpGuard() { abd->ops_.erase(id); }
+  } guard{this, internal};
+  Op& op = ops_.at(internal);
+  for (;;) {
+    // One deadline spans the whole attempt (lookup + read + write); arming a
+    // fresh one auto-cancels the previous attempt's through the Timer port.
+    auto deadline = co_await protocol::arm_timer(timer_, params_.op_timeout_ms);
+    bool ok = co_await lookup_round(internal, deadline);
+    if (ok && !(op.type == OpType::kPut && op.tag_chosen)) {
+      // (A retried put whose tag is already fixed goes straight to idempotent
+      // write retransmission; a fresh read phase must not re-tag the value.)
+      ok = co_await read_round(internal, deadline);
+      if (ok && op.type == OpType::kGet && !op.max_exists) {
+        complete_op(op, true);  // nothing to impose: answer "not found"
+        co_return;
+      }
+    }
+    if (ok) ok = co_await write_round(internal, deadline);
+    if (ok) {
+      complete_op(op, true);
+      co_return;
+    }
+    if (op.retries_left > 0) {
+      --op.retries_left;
+      ++op.attempt;  // stale wire ids stop matching any round's predicates
+      ++counters_.retries;
+      continue;  // fresh group lookup, fresh quorum rounds
+    }
+    switch (op.phase) {
+      case Phase::kLookup:
+        ++counters_.failed_in_lookup;
+        break;
+      case Phase::kRead:
+        ++counters_.failed_in_read;
+        break;
+      case Phase::kWrite:
+        ++counters_.failed_in_write;
+        break;
+    }
+    complete_op(op, false);
+    co_return;
+  }
 }
 
-void ConsistentABD::begin_lookup(OpId internal, Op& op) {
+protocol::Proto<bool> ConsistentABD::lookup_round(OpId internal,
+                                                  protocol::ArmedTimer& deadline) {
+  Op& op = ops_.at(internal);
   op.phase = Phase::kLookup;
   op.acked.clear();
   op.nacked.clear();
   op.max_tag = VersionTag{};
   op.max_exists = false;
   op.max_value.clear();
-  auto timeout = timing::schedule<OpTimeout>(params_.op_timeout_ms, internal, op.attempt);
-  op.timeout_id = timeout->timeout_id();
-  trigger(timeout, timer_);
-  trigger(make_event<LookupRequest>(wire_id(internal, op.attempt), op.key,
-                                    params_.replication_degree),
-          router_);
-}
-
-void ConsistentABD::begin_read_phase(OpId internal, Op& op) {
-  op.phase = Phase::kRead;
-  op.acked.clear();
-  op.nacked.clear();
-  for (const auto& n : op.group) {
-    trigger(make_event<AbdReadMsg>(self_.addr, n.addr, wire_id(internal, op.attempt), op.key,
-                                   op.view),
-            network_);
-  }
-}
-
-void ConsistentABD::begin_write_phase(OpId internal, Op& op) {
-  op.phase = Phase::kWrite;
-  op.acked.clear();
-  op.nacked.clear();
-  VersionTag tag;
-  bool exists;
-  const Value* value;
-  if (op.type == OpType::kPut) {
-    if (!op.tag_chosen) {
-      // Writer tiebreak must be unique per *operation*: one node can run
-      // concurrent puts for the same key, and if both picked (c+1, node_key)
-      // the replicas would disagree about the value stored under one tag — a
-      // real linearizability violation found by the history checker. Mixing
-      // the internal op id in keeps tags totally ordered and (with
-      // overwhelming probability) collision-free across writers.
-      op.chosen_tag = VersionTag{op.max_tag.counter + 1, derive_seed(self_.key, internal)};
-      op.tag_chosen = true;
+  const OpId wid = wire_id(internal, op.attempt);
+  // Open the stream BEFORE asking: a same-thread router can answer inline.
+  auto responses = co_await router_.open<LookupResponse>(
+      [wid](const LookupResponse& r) { return r.id == wid; });
+  trigger(make_event<LookupRequest>(wid, op.key, params_.replication_degree), router_);
+  for (;;) {
+    auto got = co_await protocol::when_any(responses.next(), deadline.wait());
+    if (got.index() == 1) co_return false;  // attempt deadline
+    const LookupResponse& resp = *std::get<0>(got);
+    if (resp.group.empty() ||
+        (resp.view_version == 0 && !params_.inject_stale_view_bug)) {
+      // Ring not converged around the key, or the responsible node has no
+      // installed view yet; keep waiting — the deadline retries with a fresh
+      // lookup. An unversioned group must never run quorum phases: that is
+      // exactly the window where two sides of a partition could each
+      // assemble an (inconsistent) quorum. (The inject_stale_view_bug
+      // emulation deliberately re-opens that window, params.hpp.)
+      continue;
     }
-    tag = op.chosen_tag;
-    exists = true;
-    value = &op.put_value;
-  } else {
-    tag = op.max_tag;
-    exists = op.max_exists;
-    value = &op.max_value;
-  }
-  for (const auto& n : op.group) {
-    trigger(make_event<AbdWriteMsg>(self_.addr, n.addr, wire_id(internal, op.attempt), op.key,
-                                    op.view, tag, exists, *value),
-            network_);
+    op.group = resp.group;
+    op.view = resp.view_version;
+    op.quorum = op.group.size() / 2 + 1;
+    co_return true;
   }
 }
 
-void ConsistentABD::finish_op(OpId internal, Op& op, bool ok) {
-  trigger(make_event<timing::CancelTimeout>(op.timeout_id), timer_);
+template <class AckMsg>
+protocol::Proto<bool> ConsistentABD::quorum_round(OpId internal,
+                                                  protocol::ArmedTimer& deadline, Phase phase,
+                                                  std::function<void(OpId wid)> send_phase,
+                                                  std::function<void(const AckMsg&)> fold) {
+  Op& op = ops_.at(internal);
+  op.phase = phase;
+  op.acked.clear();
+  op.nacked.clear();
+  const OpId wid = wire_id(internal, op.attempt);
+  // Open the streams BEFORE sending: an in-process replica can answer inline.
+  auto acks = co_await network_.open<AckMsg>([wid](const AckMsg& a) { return a.op == wid; });
+  auto nacks = co_await network_.open<AbdNackMsg>(
+      [wid](const AbdNackMsg& n) { return n.op == wid; });
+  send_phase(wid);
+  protocol::ArmedTimer fast;  // armed once nacks make this view's quorum infeasible
+  for (;;) {
+    auto got = co_await protocol::when_any(acks.next(), nacks.next(), deadline.wait(),
+                                           fast.wait());
+    if (got.index() >= 2) co_return false;  // attempt deadline or fast-retry backoff
+    if (got.index() == 0) {
+      const AckMsg& ack = *std::get<0>(got);
+      if (!count_ack(internal, op, ack.source(), ack.view)) continue;
+      fold(ack);
+      if (op.acked.size() >= op.quorum) co_return true;
+    } else if (count_nack(op, std::get<1>(got)->source()) && !fast.armed()) {
+      // Too many replicas reject this view for a quorum to ever form: the
+      // view is being reconfigured under us. Shortcut the attempt deadline
+      // to a short backoff — long enough for the in-flight view change to
+      // install, unlike an instant retry, which would burn every attempt
+      // inside one fence window.
+      ++counters_.fast_retries;
+      fast = co_await protocol::arm_timer(timer_, params_.fast_retry_backoff_ms);
+    }
+  }
+}
+
+protocol::Proto<bool> ConsistentABD::read_round(OpId internal,
+                                                protocol::ArmedTimer& deadline) {
+  Op& op = ops_.at(internal);
+  return quorum_round<AbdReadAckMsg>(
+      internal, deadline, Phase::kRead,
+      [this, &op](OpId wid) {
+        for (const auto& n : op.group) {
+          trigger(make_event<AbdReadMsg>(self_.addr, n.addr, wid, op.key, op.view), network_);
+        }
+      },
+      [&op](const AbdReadAckMsg& ack) {
+        if (op.max_tag < ack.tag || (!op.max_exists && ack.exists)) {
+          op.max_tag = ack.tag;
+          op.max_exists = ack.exists;
+          op.max_value = ack.value;
+        }
+      });
+}
+
+protocol::Proto<bool> ConsistentABD::write_round(OpId internal,
+                                                 protocol::ArmedTimer& deadline) {
+  Op& op = ops_.at(internal);
+  if (op.type == OpType::kPut && !op.tag_chosen) {
+    // Writer tiebreak must be unique per *operation*: one node can run
+    // concurrent puts for the same key, and if both picked (c+1, node_key)
+    // the replicas would disagree about the value stored under one tag — a
+    // real linearizability violation found by the history checker. Mixing
+    // the internal op id in keeps tags totally ordered and (with
+    // overwhelming probability) collision-free across writers.
+    op.chosen_tag = VersionTag{op.max_tag.counter + 1, derive_seed(self_.key, internal)};
+    op.tag_chosen = true;
+  }
+  const bool put = op.type == OpType::kPut;
+  const VersionTag tag = put ? op.chosen_tag : op.max_tag;
+  const bool exists = put ? true : op.max_exists;
+  const Value& value = put ? op.put_value : op.max_value;
+  return quorum_round<AbdWriteAckMsg>(
+      internal, deadline, Phase::kWrite,
+      [this, &op, tag, exists, &value](OpId wid) {
+        for (const auto& n : op.group) {
+          trigger(make_event<AbdWriteMsg>(self_.addr, n.addr, wid, op.key, op.view, tag,
+                                          exists, value),
+                  network_);
+        }
+      },
+      [](const AbdWriteAckMsg&) {});
+}
+
+bool ConsistentABD::count_ack(OpId internal, Op& op, const Address& source,
+                              std::uint64_t ack_view) {
+  if (ack_view != op.view) {
+    if (!params_.inject_stale_view_bug) {
+      ++counters_.stale_view_acks_dropped;
+      return false;
+    }
+    note_mixed_view_ack(internal, op, ack_view);
+  }
+  return note_address(op.acked, source);  // false: duplicated delivery
+}
+
+bool ConsistentABD::count_nack(Op& op, const Address& source) {
+  const bool member = std::any_of(op.group.begin(), op.group.end(),
+                                  [&](const NodeRef& n) { return n.addr == source; });
+  if (!member || !note_address(op.nacked, source)) return false;
+  return op.group.size() - op.nacked.size() < op.quorum;
+}
+
+void ConsistentABD::complete_op(Op& op, bool ok) {
   if (op.type == OpType::kPut) {
     if (ok) {
       ++counters_.puts_ok;
@@ -510,32 +346,6 @@ void ConsistentABD::finish_op(OpId internal, Op& op, bool ok) {
     trigger(make_event<GetResponse>(op.client_id, op.key, ok, op.max_exists, op.max_value),
             putget_);
   }
-  ops_.erase(internal);
-}
-
-void ConsistentABD::retry_or_fail(OpId internal) {
-  auto it = ops_.find(internal);
-  if (it == ops_.end()) return;  // completed already
-  Op& op = it->second;
-  if (op.retries_left > 0) {
-    --op.retries_left;
-    ++op.attempt;
-    ++counters_.retries;
-    begin_lookup(internal, op);  // fresh group lookup, fresh quorum rounds
-    return;
-  }
-  switch (op.phase) {
-    case Phase::kLookup:
-      ++counters_.failed_in_lookup;
-      break;
-    case Phase::kRead:
-      ++counters_.failed_in_read;
-      break;
-    case Phase::kWrite:
-      ++counters_.failed_in_write;
-      break;
-  }
-  finish_op(internal, op, false);
 }
 
 bool ConsistentABD::note_address(std::vector<Address>& v, const Address& a) {
@@ -581,6 +391,15 @@ std::vector<std::string> ConsistentABD::invariant_violations() const {
                     " is not a majority of its group of " + std::to_string(op.group.size()));
     }
   }
+  // Ops and coroutine frames must pair exactly: an op parked in a suspended
+  // run_op frame still counts as pending, and a finished (or destroyed)
+  // frame must have released its op-table entry — a mismatch either way is
+  // a leak in the protocol layer's RAII cleanup.
+  if (protocol_host() != nullptr && ops_.size() != protocol_host()->live_frame_count()) {
+    out.push_back("abd: " + std::to_string(ops_.size()) + " in-flight ops but " +
+                  std::to_string(protocol_host()->live_frame_count()) +
+                  " live protocol frames — op table and coroutine frames leak apart");
+  }
   return out;
 }
 
@@ -589,253 +408,6 @@ void ConsistentABD::replica_nack(const Address& to, OpId op, RingKey key) {
   const RangeState* r = covering_range(key);
   trigger(make_event<AbdNackMsg>(self_.addr, to, op, key, r == nullptr ? 0 : r->view.version),
           network_);
-}
-
-// ---- view manager ----------------------------------------------------------
-
-bool ConsistentABD::ring_responsible_for(RingKey key) const {
-  if (!ring_view_received_) return false;
-  if (has_pred_) return in_interval_oc(pred_.key, self_.key, key);
-  return sole_member_;
-}
-
-const ConsistentABD::RangeState* ConsistentABD::covering_range(RingKey key) const {
-  const RangeState* best = nullptr;
-  for (const auto& [hi, r] : ranges_) {
-    if (!r.view.covers(key)) continue;
-    if (best == nullptr || best->view.version < r.view.version) best = &r;
-  }
-  return best;
-}
-
-std::optional<GroupView> ConsistentABD::view_covering(RingKey key) const {
-  const RangeState* r = covering_range(key);
-  if (r == nullptr) return std::nullopt;
-  return r->view;
-}
-
-std::vector<KeyState> ConsistentABD::dump_range(RingKey lo, RingKey hi) const {
-  std::vector<KeyState> out;
-  for (const auto& [k, rep] : store_) {
-    if (rep.exists && in_interval_oc(lo, hi, k)) out.push_back(KeyState{k, rep.tag, rep.value});
-  }
-  return out;
-}
-
-std::vector<NodeRef> ConsistentABD::group_headed_by(const NodeRef& head) const {
-  std::vector<NodeRef> g{head};
-  auto push = [this, &g](const NodeRef& n) {
-    if (g.size() >= params_.replication_degree) return;
-    const bool dup = std::any_of(g.begin(), g.end(),
-                                 [&n](const NodeRef& m) { return m.addr == n.addr; });
-    if (!dup) g.push_back(n);
-  };
-  push(self_);
-  for (const auto& s : succs_) push(s);
-  return g;
-}
-
-bool ConsistentABD::same_member_set(const std::vector<NodeRef>& a,
-                                    const std::vector<NodeRef>& b) {
-  if (a.size() != b.size()) return false;
-  for (const auto& n : a) {
-    const bool found = std::any_of(b.begin(), b.end(),
-                                   [&n](const NodeRef& m) { return m.addr == n.addr; });
-    if (!found) return false;
-  }
-  return true;
-}
-
-std::uint64_t ConsistentABD::next_ballot_round(const Reconfig* prev) const {
-  std::uint64_t round = ring_epoch_ > 0 ? ring_epoch_ : 1;
-  if (prev != nullptr) {
-    round = std::max(round, std::max(prev->ballot.round, prev->highest_rejection) + 1);
-  }
-  return round;
-}
-
-void ConsistentABD::install_view(const GroupView& view, const std::vector<KeyState>& state) {
-  auto have = ranges_.find(view.hi);
-  if (have != ranges_.end() && have->second.view.version >= view.version) return;
-  // Merge the transferred state by max tag: never regress a replica.
-  for (const auto& ks : state) {
-    Replica& rep = store_[ks.key];
-    if (!rep.exists || rep.tag < ks.tag) {
-      rep.tag = ks.tag;
-      rep.exists = true;
-      rep.value = ks.value;
-    }
-  }
-  // Drop every older range this view supersedes: the same hi (member change)
-  // or a parent that covered this child's interval before a split. GC the
-  // consensus slots and proposals that belonged to the superseded ranges.
-  for (auto it = ranges_.begin(); it != ranges_.end();) {
-    if (it->second.view.version < view.version && it->second.view.covers(view.hi)) {
-      const RingKey hi = it->first;
-      for (auto s = slots_.begin(); s != slots_.end();) {
-        s = (s->first.first == hi && s->first.second <= view.version) ? slots_.erase(s)
-                                                                      : std::next(s);
-      }
-      auto rc = reconfigs_.find(hi);
-      if (rc != reconfigs_.end() && rc->second.target < view.version) reconfigs_.erase(rc);
-      it = ranges_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  ranges_[view.hi] = RangeState{view, /*fenced=*/false};
-  ++counters_.views_installed;
-  trigger(make_event<ViewUpdate>(view), views_);
-}
-
-void ConsistentABD::evaluate_reconfigurations() {
-  if (!ring_view_received_) return;
-  // Genesis: the first node of a fresh ring installs the full-circle view
-  // unilaterally — there is no old view to fence.
-  if (sole_member_ && ranges_.empty()) {
-    install_view(GroupView{self_.key, self_.key, 1, {self_}}, {});
-    return;
-  }
-  // Catch-up: ring-responsible for our own key but no installed view covers
-  // it — e.g. a healed boundary node whose old group evicted it while it was
-  // partitioned away. Pull copies from a successor (a replica of our
-  // ranges); once installed, the member-change path below re-proposes us in.
-  if (has_pred_ && covering_range(self_.key) == nullptr && !succs_.empty()) {
-    const NodeRef& target = succs_[fetch_attempts_++ % succs_.size()];
-    ++counters_.view_fetches;
-    trigger(make_event<ViewFetchMsg>(self_.addr, target.addr, pred_.key, self_.key), network_);
-  }
-  // Drop proposals for ranges the ring no longer makes us responsible for.
-  for (auto it = reconfigs_.begin(); it != reconfigs_.end();) {
-    it = !ring_responsible_for(it->first) ? reconfigs_.erase(it) : std::next(it);
-  }
-  std::vector<RingKey> held;
-  for (const auto& [hi, r] : ranges_) held.push_back(hi);
-  for (RingKey hi : held) {
-    auto rit = ranges_.find(hi);
-    if (rit == ranges_.end() || !ring_responsible_for(hi)) continue;
-    const GroupView& cur = rit->second.view;
-    auto rc = reconfigs_.find(hi);
-    // A decided reconfiguration keeps retransmitting installs until every
-    // child member acked — even after our own install replaced the range.
-    if (rc != reconfigs_.end() && rc->second.stage == Reconfig::Stage::kInstall) {
-      if (now() - rc->second.last_driven >= params_.view_reconfig_period_ms) {
-        send_installs(rc->second);
-        rc->second.last_driven = now();
-      }
-      continue;
-    }
-    const std::uint64_t target = cur.version + 1;
-    std::vector<GroupView> want;
-    if (has_pred_ && in_interval_oo(cur.lo, cur.hi, pred_.key)) {
-      // A node joined inside the range: split at the predecessor. The
-      // predecessor heads the lower child; we keep the upper.
-      want.push_back(GroupView{cur.lo, pred_.key, target, group_headed_by(pred_)});
-      want.push_back(GroupView{pred_.key, cur.hi, target, group_headed_by(self_)});
-    } else {
-      std::vector<NodeRef> desired = group_headed_by(self_);
-      if (same_member_set(desired, cur.members)) {
-        if (rc != reconfigs_.end()) {
-          // The ring flapped back to the current membership while a proposal
-          // is in flight. Its Prepare may already have fenced acceptors, so
-          // abandoning it would leave the range fenced with nobody driving
-          // the decision that unfences it (observed as second-long
-          // unavailability windows under failure-detector flapping). Keep
-          // driving the existing goal to a decision; if the ring still
-          // disagrees with the decided view afterwards, the next evaluation
-          // proposes a correction.
-          want = rc->second.proposed;
-        } else if (rit->second.fenced &&
-                   now() - rit->second.fenced_at >= params_.view_reconfig_period_ms) {
-          // Fenced for a whole reconfiguration round with no local proposal:
-          // a remote proposal stalled, or it decided and the install that
-          // would supersede this range never reached us. Re-propose the
-          // current membership at the next version — Paxos' adopt rule
-          // completes the remote decision if any acceptor accepted one, and
-          // either way the resulting install unfences the range.
-          want.push_back(GroupView{cur.lo, cur.hi, target, std::move(desired)});
-        } else {
-          continue;  // view matches the ring; nothing to do
-        }
-      } else {
-        want.push_back(GroupView{cur.lo, cur.hi, target, std::move(desired)});
-      }
-    }
-    const bool same_goal =
-        rc != reconfigs_.end() && rc->second.target == target &&
-        rc->second.proposed.size() == want.size() &&
-        std::equal(want.begin(), want.end(), rc->second.proposed.begin(),
-                   [](const GroupView& a, const GroupView& b) {
-                     return a.lo == b.lo && a.hi == b.hi && same_member_set(a.members, b.members);
-                   });
-    if (same_goal && now() - rc->second.last_driven < params_.view_reconfig_period_ms) {
-      continue;  // in flight; give it a tick before bumping the ballot
-    }
-    Reconfig fresh;
-    fresh.target = target;
-    fresh.parent = cur;
-    fresh.proposed = std::move(want);
-    if (rc != reconfigs_.end()) fresh.highest_rejection = rc->second.highest_rejection;
-    fresh.ballot = Ballot{next_ballot_round(rc == reconfigs_.end() ? nullptr : &rc->second),
-                          self_.key};
-    reconfigs_[hi] = std::move(fresh);
-    drive_reconfig(reconfigs_[hi]);
-  }
-}
-
-void ConsistentABD::drive_reconfig(Reconfig& rec) {
-  ++counters_.reconfigs_proposed;
-  rec.last_driven = now();
-  for (const auto& m : rec.parent.members) {
-    trigger(make_event<ViewPrepareMsg>(self_.addr, m.addr, rec.parent.lo, rec.parent.hi,
-                                       rec.target, rec.ballot),
-            network_);
-  }
-}
-
-std::vector<NodeRef> ConsistentABD::install_recipients(const Reconfig& rec,
-                                                       const GroupView& child) const {
-  std::vector<NodeRef> recipients = child.members;
-  for (const auto& m : rec.parent.members) {
-    const bool present = std::any_of(recipients.begin(), recipients.end(),
-                                     [&](const NodeRef& n) { return n.addr == m.addr; });
-    if (!present) recipients.push_back(m);
-  }
-  return recipients;
-}
-
-void ConsistentABD::send_installs(Reconfig& rec) {
-  for (const auto& child : rec.children) {
-    std::vector<KeyState> state;
-    for (const auto& [k, rep] : rec.merged_state) {
-      if (rep.exists && in_interval_oc(child.lo, child.hi, k)) {
-        state.push_back(KeyState{k, rep.tag, rep.value});
-      }
-    }
-    // Installs go to the old members too, not just the new ones: a member
-    // evicted by this decision is fenced (it promised the decree) and stays
-    // unavailable until it learns the view that superseded its own.
-    for (const auto& m : install_recipients(rec, child)) {
-      const auto acked = rec.install_acks.find(child.hi);
-      const bool has_acked =
-          acked != rec.install_acks.end() &&
-          std::find(acked->second.begin(), acked->second.end(), m.addr) != acked->second.end();
-      if (has_acked) continue;
-      trigger(make_event<ViewInstallMsg>(self_.addr, m.addr, rec.parent.hi, child, state),
-              network_);
-    }
-  }
-}
-
-void ConsistentABD::merge_promise_state(Reconfig& rec, const std::vector<KeyState>& state) {
-  for (const auto& ks : state) {
-    Replica& rep = rec.merged_state[ks.key];
-    if (!rep.exists || rep.tag < ks.tag) {
-      rep.tag = ks.tag;
-      rep.exists = true;
-      rep.value = ks.value;
-    }
-  }
 }
 
 }  // namespace kompics::cats

@@ -27,6 +27,7 @@
 // fail — CATS targets "partially synchronous, lossy, partitionable and
 // dynamic networks" (§4).
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -36,6 +37,7 @@
 #include "cats/ports.hpp"
 #include "kompics/component.hpp"
 #include "kompics/kompics.hpp"
+#include "kompics/protocol.hpp"
 #include "net/network_port.hpp"
 #include "timing/timer_port.hpp"
 
@@ -122,14 +124,6 @@ class ConsistentABD : public ComponentDefinition {
     // observed, overwritten, and then resurrect — a checker-found bug).
     bool tag_chosen = false;
     VersionTag chosen_tag{};
-    timing::TimeoutId timeout_id = 0;
-  };
-
-  struct OpTimeout : timing::Timeout {
-    OpTimeout(timing::TimeoutId id, OpId op, std::uint8_t attempt)
-        : Timeout(id), op(op), attempt(attempt) {}
-    OpId op;
-    std::uint8_t attempt;
   };
 
   struct ReconfigTick : timing::Timeout {
@@ -175,17 +169,39 @@ class ConsistentABD : public ComponentDefinition {
   };
 
   // Wire op ids embed the retry attempt so acknowledgements from a
-  // timed-out attempt can never count toward a later attempt's quorum.
+  // timed-out attempt can never count toward a later attempt's quorum (an
+  // attempt's correlation predicates match the exact wire id).
   static OpId wire_id(OpId internal, std::uint8_t attempt) { return internal * 16 + attempt; }
-  static OpId internal_of(OpId wire) { return wire / 16; }
-  static std::uint8_t attempt_of(OpId wire) { return static_cast<std::uint8_t>(wire % 16); }
 
-  void start_op(OpId internal, Op op);
-  void begin_lookup(OpId internal, Op& op);
-  void begin_read_phase(OpId internal, Op& op);
-  void begin_write_phase(OpId internal, Op& op);
-  void finish_op(OpId internal, Op& op, bool ok);
-  void retry_or_fail(OpId internal);
+  // ---- coordinator: one coroutine frame per client operation -------------
+  //
+  // run_op drives the whole retry loop; each attempt arms one deadline that
+  // spans the lookup/read/write rounds. A round co_returns true on quorum,
+  // false when the deadline (or the nack-infeasibility fast-retry backoff)
+  // fires first. The ops_ entry is erased by RAII when the frame ends —
+  // including when the component is destroyed mid-operation.
+  protocol::Proto<void> run_op(OpId internal);
+  protocol::Proto<bool> lookup_round(OpId internal, protocol::ArmedTimer& deadline);
+  protocol::Proto<bool> read_round(OpId internal, protocol::ArmedTimer& deadline);
+  protocol::Proto<bool> write_round(OpId internal, protocol::ArmedTimer& deadline);
+  /// The shared ack/nack quorum loop of the read and write phases: sends the
+  /// phase messages, counts view-gated deduplicated acks (folding each newly
+  /// counted one through `fold`), and arms the fast-retry backoff when nacks
+  /// make this view's quorum infeasible.
+  template <class AckMsg>
+  protocol::Proto<bool> quorum_round(OpId internal, protocol::ArmedTimer& deadline,
+                                     Phase phase, std::function<void(OpId wid)> send_phase,
+                                     std::function<void(const AckMsg&)> fold);
+  /// View-gates and dedups a phase ack; true if it newly counts toward the
+  /// quorum. (Shared by the read and write rounds: the view gate, the
+  /// mixed-view violation recorder, and the source dedup are identical.)
+  bool count_ack(OpId internal, Op& op, const Address& source, std::uint64_t ack_view);
+  /// Counts a deduplicated nack; true when so many members rejected this
+  /// view that a quorum can never form (callers then arm the fast retry).
+  bool count_nack(Op& op, const Address& source);
+  /// Replies to the client and bumps the outcome counters (the ops_ entry
+  /// itself is owned by run_op's RAII guard).
+  void complete_op(Op& op, bool ok);
   OpId fresh_id() { return next_op_++; }
   /// Dedup-insert `a` into `v`; true if newly inserted.
   static bool note_address(std::vector<Address>& v, const Address& a);
@@ -193,8 +209,12 @@ class ConsistentABD : public ComponentDefinition {
   /// params_.inject_stale_view_bug — the healthy coordinator drops the ack).
   void note_mixed_view_ack(OpId internal, const Op& op, std::uint64_t ack_view);
 
-  // ---- view manager ----------------------------------------------------
+  // ---- view manager (abd_views.cpp) ------------------------------------
 
+  /// Wires up the consistent-quorum view protocol: the single-decree
+  /// consensus (prepare/promise/accept/accepted), installs, and catch-up
+  /// fetches. Lives in abd_views.cpp with the rest of the view manager.
+  void subscribe_view_protocol();
   bool ring_responsible_for(RingKey key) const;
   const RangeState* covering_range(RingKey key) const;
   std::vector<KeyState> dump_range(RingKey lo, RingKey hi) const;

@@ -1,0 +1,456 @@
+// ConsistentABD's view manager: the consistent-quorum half of the component
+// (CATS tech report [11]). Replica groups are versioned views over key
+// ranges; changing one runs a single-decree consensus per (range, version)
+// over the OLD view's members, fencing the old view on promise so a partial
+// partition can never assemble quorums under two views at once. The ABD
+// register protocol itself — coordinator coroutines and replica handlers —
+// lives in abd.cpp; this file owns everything about views: the acceptor and
+// proposer sides of the consensus, installs and catch-up transfers, and the
+// ring-driven reconfiguration policy.
+
+#include <algorithm>
+
+#include "cats/abd.hpp"
+#include "cats/ring_key.hpp"
+
+namespace kompics::cats {
+
+void ConsistentABD::subscribe_view_protocol() {
+  // ---- acceptor side -------------------------------------------------------
+
+  subscribe<ViewPrepareMsg>(network_, [this](const ViewPrepareMsg& msg) {
+    auto refuse = [&](Ballot promised, std::vector<GroupView> catchup,
+                      std::vector<KeyState> state) {
+      trigger(make_event<ViewPromiseMsg>(self_.addr, msg.source(), msg.range_hi, msg.target,
+                                         msg.ballot, false, promised, false, Ballot{},
+                                         std::vector<GroupView>{}, std::move(catchup),
+                                         std::move(state)),
+              network_);
+    };
+    auto it = ranges_.find(msg.range_hi);
+    if (it == ranges_.end() || it->second.view.version + 1 < msg.target) {
+      // We do not hold this range (it may have been superseded by a newer
+      // view after a split): if a newer installed view covers the proposer's
+      // hi, ship it so the stale proposer can catch up.
+      const RangeState* cover = covering_range(msg.range_hi);
+      if (cover != nullptr && cover->view.version >= msg.target) {
+        refuse(Ballot{}, {cover->view}, dump_range(cover->view.lo, cover->view.hi));
+      } else {
+        refuse(Ballot{}, {}, {});
+      }
+      return;
+    }
+    RangeState& r = it->second;
+    if (r.view.version >= msg.target) {  // already reconfigured past the target
+      refuse(Ballot{}, {r.view}, dump_range(r.view.lo, r.view.hi));
+      return;
+    }
+    // r.view.version == msg.target - 1: we are an acceptor for this decree.
+    Slot& slot = slots_[{msg.range_hi, msg.target}];
+    if (msg.ballot < slot.promised) {
+      refuse(slot.promised, {}, {});
+      return;
+    }
+    slot.promised = msg.ballot;
+    // THE FENCE: from this promise on, the old view refuses ABD phases for
+    // the range. Once a majority of the old view has promised, the old view
+    // can never again assemble a quorum — which is the precondition for the
+    // new view taking over without a divergence window.
+    if (!r.fenced) {
+      r.fenced = true;
+      r.fenced_at = now();
+      ++counters_.view_fences;
+    }
+    trigger(make_event<ViewPromiseMsg>(self_.addr, msg.source(), msg.range_hi, msg.target,
+                                       msg.ballot, true, slot.promised, slot.has_accepted,
+                                       slot.accepted_ballot, slot.accepted_children,
+                                       std::vector<GroupView>{},
+                                       dump_range(r.view.lo, r.view.hi)),
+            network_);
+  });
+
+  subscribe<ViewAcceptMsg>(network_, [this](const ViewAcceptMsg& msg) {
+    auto it = ranges_.find(msg.range_hi);
+    const bool have_old = it != ranges_.end() && it->second.view.version + 1 == msg.target;
+    if (!have_old) {
+      trigger(make_event<ViewAcceptedMsg>(self_.addr, msg.source(), msg.range_hi, msg.target,
+                                          msg.ballot, false),
+              network_);
+      return;
+    }
+    Slot& slot = slots_[{msg.range_hi, msg.target}];
+    if (msg.ballot < slot.promised) {
+      trigger(make_event<ViewAcceptedMsg>(self_.addr, msg.source(), msg.range_hi, msg.target,
+                                          msg.ballot, false),
+              network_);
+      return;
+    }
+    slot.promised = msg.ballot;
+    slot.has_accepted = true;
+    slot.accepted_ballot = msg.ballot;
+    slot.accepted_children = msg.children;
+    if (!it->second.fenced) {
+      it->second.fenced = true;
+      it->second.fenced_at = now();
+      ++counters_.view_fences;
+    }
+    trigger(make_event<ViewAcceptedMsg>(self_.addr, msg.source(), msg.range_hi, msg.target,
+                                        msg.ballot, true),
+            network_);
+  });
+
+  // ---- proposer side -------------------------------------------------------
+
+  subscribe<ViewPromiseMsg>(network_, [this](const ViewPromiseMsg& msg) {
+    // A catch-up hint is useful whether or not the proposal it answers is
+    // still current: install (install_view no-ops unless strictly newer).
+    if (!msg.ok && !msg.catchup.empty()) {
+      install_view(msg.catchup[0], msg.state);
+    }
+    auto it = reconfigs_.find(msg.range_hi);
+    if (it == reconfigs_.end()) return;
+    Reconfig& rec = it->second;
+    if (rec.target != msg.target || !(rec.ballot == msg.ballot) ||
+        rec.stage != Reconfig::Stage::kPrepare) {
+      return;
+    }
+    if (!msg.ok) {
+      if (!msg.catchup.empty()) {
+        reconfigs_.erase(it);  // superseded; re-evaluated from the new view
+      } else {
+        rec.highest_rejection = std::max(rec.highest_rejection, msg.promised.round);
+      }
+      return;  // next tick re-proposes with a higher ballot if still needed
+    }
+    if (!rec.parent.has_member(msg.source())) return;
+    if (!note_address(rec.promises, msg.source())) return;
+    // Paxos adopt rule: if any acceptor already accepted children for this
+    // decree, the highest-ballot such proposal is the only one we may pass.
+    if (msg.has_accepted && (!rec.adopted || rec.max_accepted < msg.accepted_ballot)) {
+      rec.adopted = true;
+      rec.max_accepted = msg.accepted_ballot;
+      rec.children = msg.accepted_children;
+    }
+    merge_promise_state(rec, msg.state);
+    if (rec.promises.size() >= rec.parent.members.size() / 2 + 1) {
+      if (!rec.adopted) rec.children = rec.proposed;
+      rec.stage = Reconfig::Stage::kAccept;
+      for (const auto& m : rec.parent.members) {
+        trigger(make_event<ViewAcceptMsg>(self_.addr, m.addr, rec.parent.lo, rec.parent.hi,
+                                          rec.target, rec.ballot, rec.children),
+                network_);
+      }
+    }
+  });
+
+  subscribe<ViewAcceptedMsg>(network_, [this](const ViewAcceptedMsg& msg) {
+    auto it = reconfigs_.find(msg.range_hi);
+    if (it == reconfigs_.end()) return;
+    Reconfig& rec = it->second;
+    if (rec.target != msg.target || !(rec.ballot == msg.ballot) ||
+        rec.stage != Reconfig::Stage::kAccept) {
+      return;
+    }
+    if (!msg.ok) {
+      rec.highest_rejection = std::max(rec.highest_rejection, rec.ballot.round);
+      return;
+    }
+    if (!rec.parent.has_member(msg.source())) return;
+    if (!note_address(rec.accepts, msg.source())) return;
+    if (rec.accepts.size() >= rec.parent.members.size() / 2 + 1) {
+      // Decided: the children replace the parent. Activate them by shipping
+      // installs (with the max-tag state merged from the promise dumps) to
+      // every child member; retransmitted each tick until all ack.
+      rec.stage = Reconfig::Stage::kInstall;
+      ++counters_.reconfigs_decided;
+      send_installs(rec);
+    }
+  });
+
+  // ---- installation & catch-up ---------------------------------------------
+
+  subscribe<ViewInstallMsg>(network_, [this](const ViewInstallMsg& msg) {
+    install_view(msg.child, msg.state);
+    trigger(make_event<ViewInstallAckMsg>(self_.addr, msg.source(), msg.parent_hi, msg.child.hi,
+                                          msg.child.version),
+            network_);
+  });
+
+  subscribe<ViewInstallAckMsg>(network_, [this](const ViewInstallAckMsg& msg) {
+    auto it = reconfigs_.find(msg.parent_hi);
+    if (it == reconfigs_.end() || it->second.stage != Reconfig::Stage::kInstall) return;
+    Reconfig& rec = it->second;
+    const auto child = std::find_if(rec.children.begin(), rec.children.end(),
+                                    [&](const GroupView& c) {
+                                      return c.hi == msg.child_hi && c.version == msg.version;
+                                    });
+    if (child == rec.children.end()) return;
+    note_address(rec.install_acks[msg.child_hi], msg.source());
+    for (const auto& c : rec.children) {
+      auto acked = rec.install_acks.find(c.hi);
+      const std::size_t got = acked == rec.install_acks.end() ? 0 : acked->second.size();
+      if (got < install_recipients(rec, c).size()) return;
+    }
+    reconfigs_.erase(it);  // every old and new member holds the view
+  });
+
+  subscribe<ViewFetchMsg>(network_, [this](const ViewFetchMsg& msg) {
+    for (const auto& [hi, r] : ranges_) {
+      const bool overlaps =
+          in_interval_oc(msg.lo, msg.hi, r.view.hi) || r.view.covers(msg.hi);
+      if (!overlaps) continue;
+      trigger(make_event<ViewInstallMsg>(self_.addr, msg.source(), r.view.hi, r.view,
+                                         dump_range(r.view.lo, r.view.hi)),
+              network_);
+    }
+  });
+}
+
+// ---- view state & policy ----------------------------------------------------
+
+bool ConsistentABD::ring_responsible_for(RingKey key) const {
+  if (!ring_view_received_) return false;
+  if (has_pred_) return in_interval_oc(pred_.key, self_.key, key);
+  return sole_member_;
+}
+
+const ConsistentABD::RangeState* ConsistentABD::covering_range(RingKey key) const {
+  const RangeState* best = nullptr;
+  for (const auto& [hi, r] : ranges_) {
+    if (!r.view.covers(key)) continue;
+    if (best == nullptr || best->view.version < r.view.version) best = &r;
+  }
+  return best;
+}
+
+std::optional<GroupView> ConsistentABD::view_covering(RingKey key) const {
+  const RangeState* r = covering_range(key);
+  if (r == nullptr) return std::nullopt;
+  return r->view;
+}
+
+std::vector<KeyState> ConsistentABD::dump_range(RingKey lo, RingKey hi) const {
+  std::vector<KeyState> out;
+  for (const auto& [k, rep] : store_) {
+    if (rep.exists && in_interval_oc(lo, hi, k)) out.push_back(KeyState{k, rep.tag, rep.value});
+  }
+  return out;
+}
+
+std::vector<NodeRef> ConsistentABD::group_headed_by(const NodeRef& head) const {
+  std::vector<NodeRef> g{head};
+  auto push = [this, &g](const NodeRef& n) {
+    if (g.size() >= params_.replication_degree) return;
+    const bool dup = std::any_of(g.begin(), g.end(),
+                                 [&n](const NodeRef& m) { return m.addr == n.addr; });
+    if (!dup) g.push_back(n);
+  };
+  push(self_);
+  for (const auto& s : succs_) push(s);
+  return g;
+}
+
+bool ConsistentABD::same_member_set(const std::vector<NodeRef>& a,
+                                    const std::vector<NodeRef>& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& n : a) {
+    const bool found = std::any_of(b.begin(), b.end(),
+                                   [&n](const NodeRef& m) { return m.addr == n.addr; });
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::uint64_t ConsistentABD::next_ballot_round(const Reconfig* prev) const {
+  std::uint64_t round = ring_epoch_ > 0 ? ring_epoch_ : 1;
+  if (prev != nullptr) {
+    round = std::max(round, std::max(prev->ballot.round, prev->highest_rejection) + 1);
+  }
+  return round;
+}
+
+void ConsistentABD::install_view(const GroupView& view, const std::vector<KeyState>& state) {
+  auto have = ranges_.find(view.hi);
+  if (have != ranges_.end() && have->second.view.version >= view.version) return;
+  // Merge the transferred state by max tag: never regress a replica.
+  for (const auto& ks : state) {
+    Replica& rep = store_[ks.key];
+    if (!rep.exists || rep.tag < ks.tag) {
+      rep.tag = ks.tag;
+      rep.exists = true;
+      rep.value = ks.value;
+    }
+  }
+  // Drop every older range this view supersedes: the same hi (member change)
+  // or a parent that covered this child's interval before a split. GC the
+  // consensus slots and proposals that belonged to the superseded ranges.
+  for (auto it = ranges_.begin(); it != ranges_.end();) {
+    if (it->second.view.version < view.version && it->second.view.covers(view.hi)) {
+      const RingKey hi = it->first;
+      for (auto s = slots_.begin(); s != slots_.end();) {
+        s = (s->first.first == hi && s->first.second <= view.version) ? slots_.erase(s)
+                                                                      : std::next(s);
+      }
+      auto rc = reconfigs_.find(hi);
+      if (rc != reconfigs_.end() && rc->second.target < view.version) reconfigs_.erase(rc);
+      it = ranges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ranges_[view.hi] = RangeState{view, /*fenced=*/false};
+  ++counters_.views_installed;
+  trigger(make_event<ViewUpdate>(view), views_);
+}
+
+void ConsistentABD::evaluate_reconfigurations() {
+  if (!ring_view_received_) return;
+  // Genesis: the first node of a fresh ring installs the full-circle view
+  // unilaterally — there is no old view to fence.
+  if (sole_member_ && ranges_.empty()) {
+    install_view(GroupView{self_.key, self_.key, 1, {self_}}, {});
+    return;
+  }
+  // Catch-up: ring-responsible for our own key but no installed view covers
+  // it — e.g. a healed boundary node whose old group evicted it while it was
+  // partitioned away. Pull copies from a successor (a replica of our
+  // ranges); once installed, the member-change path below re-proposes us in.
+  if (has_pred_ && covering_range(self_.key) == nullptr && !succs_.empty()) {
+    const NodeRef& target = succs_[fetch_attempts_++ % succs_.size()];
+    ++counters_.view_fetches;
+    trigger(make_event<ViewFetchMsg>(self_.addr, target.addr, pred_.key, self_.key), network_);
+  }
+  // Drop proposals for ranges the ring no longer makes us responsible for.
+  for (auto it = reconfigs_.begin(); it != reconfigs_.end();) {
+    it = !ring_responsible_for(it->first) ? reconfigs_.erase(it) : std::next(it);
+  }
+  std::vector<RingKey> held;
+  for (const auto& [hi, r] : ranges_) held.push_back(hi);
+  for (RingKey hi : held) {
+    auto rit = ranges_.find(hi);
+    if (rit == ranges_.end() || !ring_responsible_for(hi)) continue;
+    const GroupView& cur = rit->second.view;
+    auto rc = reconfigs_.find(hi);
+    // A decided reconfiguration keeps retransmitting installs until every
+    // child member acked — even after our own install replaced the range.
+    if (rc != reconfigs_.end() && rc->second.stage == Reconfig::Stage::kInstall) {
+      if (now() - rc->second.last_driven >= params_.view_reconfig_period_ms) {
+        send_installs(rc->second);
+        rc->second.last_driven = now();
+      }
+      continue;
+    }
+    const std::uint64_t target = cur.version + 1;
+    std::vector<GroupView> want;
+    if (has_pred_ && in_interval_oo(cur.lo, cur.hi, pred_.key)) {
+      // A node joined inside the range: split at the predecessor. The
+      // predecessor heads the lower child; we keep the upper.
+      want.push_back(GroupView{cur.lo, pred_.key, target, group_headed_by(pred_)});
+      want.push_back(GroupView{pred_.key, cur.hi, target, group_headed_by(self_)});
+    } else {
+      std::vector<NodeRef> desired = group_headed_by(self_);
+      if (same_member_set(desired, cur.members)) {
+        if (rc != reconfigs_.end()) {
+          // The ring flapped back to the current membership while a proposal
+          // is in flight. Its Prepare may already have fenced acceptors, so
+          // abandoning it would leave the range fenced with nobody driving
+          // the decision that unfences it (observed as second-long
+          // unavailability windows under failure-detector flapping). Keep
+          // driving the existing goal to a decision; if the ring still
+          // disagrees with the decided view afterwards, the next evaluation
+          // proposes a correction.
+          want = rc->second.proposed;
+        } else if (rit->second.fenced &&
+                   now() - rit->second.fenced_at >= params_.view_reconfig_period_ms) {
+          // Fenced for a whole reconfiguration round with no local proposal:
+          // a remote proposal stalled, or it decided and the install that
+          // would supersede this range never reached us. Re-propose the
+          // current membership at the next version — Paxos' adopt rule
+          // completes the remote decision if any acceptor accepted one, and
+          // either way the resulting install unfences the range.
+          want.push_back(GroupView{cur.lo, cur.hi, target, std::move(desired)});
+        } else {
+          continue;  // view matches the ring; nothing to do
+        }
+      } else {
+        want.push_back(GroupView{cur.lo, cur.hi, target, std::move(desired)});
+      }
+    }
+    const bool same_goal =
+        rc != reconfigs_.end() && rc->second.target == target &&
+        rc->second.proposed.size() == want.size() &&
+        std::equal(want.begin(), want.end(), rc->second.proposed.begin(),
+                   [](const GroupView& a, const GroupView& b) {
+                     return a.lo == b.lo && a.hi == b.hi && same_member_set(a.members, b.members);
+                   });
+    if (same_goal && now() - rc->second.last_driven < params_.view_reconfig_period_ms) {
+      continue;  // in flight; give it a tick before bumping the ballot
+    }
+    Reconfig fresh;
+    fresh.target = target;
+    fresh.parent = cur;
+    fresh.proposed = std::move(want);
+    if (rc != reconfigs_.end()) fresh.highest_rejection = rc->second.highest_rejection;
+    fresh.ballot = Ballot{next_ballot_round(rc == reconfigs_.end() ? nullptr : &rc->second),
+                          self_.key};
+    reconfigs_[hi] = std::move(fresh);
+    drive_reconfig(reconfigs_[hi]);
+  }
+}
+
+void ConsistentABD::drive_reconfig(Reconfig& rec) {
+  ++counters_.reconfigs_proposed;
+  rec.last_driven = now();
+  for (const auto& m : rec.parent.members) {
+    trigger(make_event<ViewPrepareMsg>(self_.addr, m.addr, rec.parent.lo, rec.parent.hi,
+                                       rec.target, rec.ballot),
+            network_);
+  }
+}
+
+std::vector<NodeRef> ConsistentABD::install_recipients(const Reconfig& rec,
+                                                       const GroupView& child) const {
+  std::vector<NodeRef> recipients = child.members;
+  for (const auto& m : rec.parent.members) {
+    const bool present = std::any_of(recipients.begin(), recipients.end(),
+                                     [&](const NodeRef& n) { return n.addr == m.addr; });
+    if (!present) recipients.push_back(m);
+  }
+  return recipients;
+}
+
+void ConsistentABD::send_installs(Reconfig& rec) {
+  for (const auto& child : rec.children) {
+    std::vector<KeyState> state;
+    for (const auto& [k, rep] : rec.merged_state) {
+      if (rep.exists && in_interval_oc(child.lo, child.hi, k)) {
+        state.push_back(KeyState{k, rep.tag, rep.value});
+      }
+    }
+    // Installs go to the old members too, not just the new ones: a member
+    // evicted by this decision is fenced (it promised the decree) and stays
+    // unavailable until it learns the view that superseded its own.
+    for (const auto& m : install_recipients(rec, child)) {
+      const auto acked = rec.install_acks.find(child.hi);
+      const bool has_acked =
+          acked != rec.install_acks.end() &&
+          std::find(acked->second.begin(), acked->second.end(), m.addr) != acked->second.end();
+      if (has_acked) continue;
+      trigger(make_event<ViewInstallMsg>(self_.addr, m.addr, rec.parent.hi, child, state),
+              network_);
+    }
+  }
+}
+
+void ConsistentABD::merge_promise_state(Reconfig& rec, const std::vector<KeyState>& state) {
+  for (const auto& ks : state) {
+    Replica& rep = rec.merged_state[ks.key];
+    if (!rep.exists || rep.tag < ks.tag) {
+      rep.tag = ks.tag;
+      rep.exists = true;
+      rep.value = ks.value;
+    }
+  }
+}
+
+}  // namespace kompics::cats

@@ -94,37 +94,42 @@ BootstrapClient::BootstrapClient() {
 
   subscribe<BootstrapRequest>(bootstrap_, [this](const BootstrapRequest& req) {
     self_ = req.self;
-    awaiting_response_ = true;
-    trigger(make_event<BootstrapRequestMsg>(self_.addr, server_, self_), network_);
-    trigger(timing::schedule<RequestRetry>(params_.keepalive_period_ms), timer_);
-  });
-
-  subscribe<RequestRetry>(timer_, [this](const RequestRetry&) {
-    if (!awaiting_response_) return;  // answered meanwhile
-    trigger(make_event<BootstrapRequestMsg>(self_.addr, server_, self_), network_);
-    trigger(timing::schedule<RequestRetry>(params_.keepalive_period_ms), timer_);
-  });
-
-  subscribe<BootstrapResponseMsg>(network_, [this](const BootstrapResponseMsg& resp) {
-    if (!awaiting_response_) return;
-    awaiting_response_ = false;
-    trigger(make_event<BootstrapResponse>(resp.peers), bootstrap_);
+    if (handshaking_) return;  // retransmission loop already running
+    handshaking_ = true;
+    protocol::spawn(run_handshake());
   });
 
   subscribe<BootstrapDone>(bootstrap_, [this](const BootstrapDone&) {
     if (done_) return;
     done_ = true;
-    // First keep-alive immediately (registers us with the server), then
-    // periodically.
-    trigger(make_event<KeepAliveMsg>(self_.addr, server_, self_), network_);
-    trigger(timing::schedule_periodic<KeepAliveRound>(params_.keepalive_period_ms,
-                                                      params_.keepalive_period_ms),
-            timer_);
+    protocol::spawn(run_keepalive());
   });
+}
 
-  subscribe<KeepAliveRound>(timer_, [this](const KeepAliveRound&) {
+protocol::Proto<void> BootstrapClient::run_handshake() {
+  struct Flag {  // allow a fresh handshake once this one ends, however it ends
+    bool* f;
+    ~Flag() { *f = false; }
+  } guard{&handshaking_};
+  auto responses = co_await network_.open<BootstrapResponseMsg>();
+  for (;;) {
+    trigger(make_event<BootstrapRequestMsg>(self_.addr, server_, self_), network_);
+    auto got = co_await protocol::when_any(
+        responses.next(), protocol::sleep(timer_, params_.keepalive_period_ms));
+    if (got.index() == 0) {  // index 1: server silent — retransmit
+      trigger(make_event<BootstrapResponse>(std::get<0>(got)->peers), bootstrap_);
+      co_return;
+    }
+  }
+}
+
+protocol::Proto<void> BootstrapClient::run_keepalive() {
+  // First keep-alive immediately (registers us with the server), then
+  // periodically, until the component is halted.
+  for (;;) {
     trigger(make_event<KeepAliveMsg>(self_.addr, server_, self_), network_);
-  });
+    co_await protocol::sleep(timer_, params_.keepalive_period_ms);
+  }
 }
 
 }  // namespace kompics::cats

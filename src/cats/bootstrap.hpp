@@ -13,6 +13,7 @@
 #include "cats/ports.hpp"
 #include "kompics/component.hpp"
 #include "kompics/kompics.hpp"
+#include "kompics/protocol.hpp"
 #include "net/network_port.hpp"
 #include "timing/timer_port.hpp"
 
@@ -64,12 +65,11 @@ class BootstrapClient : public ComponentDefinition {
   BootstrapClient();
 
  private:
-  struct KeepAliveRound : timing::Timeout {
-    using Timeout::Timeout;
-  };
-  struct RequestRetry : timing::Timeout {
-    using Timeout::Timeout;
-  };
+  /// Send-the-request/await-the-answer loop, retrying every keep-alive
+  /// period until the server responds (the server may not be up yet).
+  protocol::Proto<void> run_handshake();
+  /// Infinite keep-alive heartbeat; dies with the component.
+  protocol::Proto<void> run_keepalive();
 
   Negative<Bootstrap> bootstrap_ = provide<Bootstrap>();
   Positive<net::Network> network_ = require<net::Network>();
@@ -78,7 +78,7 @@ class BootstrapClient : public ComponentDefinition {
   NodeRef self_;
   Address server_;
   CatsParams params_;
-  bool awaiting_response_ = false;
+  bool handshaking_ = false;
   bool done_ = false;
 };
 

@@ -27,7 +27,7 @@ CatsNode::CatsNode(NodeRef self, Address bootstrap_server, Address monitor_serve
   for (const Component& c : {fd, cyclon, ring, router, abd, bootstrap_client}) {
     connect(c.required<net::Network>(), network_);
   }
-  for (const Component& c : {fd, cyclon, ring, abd, bootstrap_client}) {
+  for (const Component& c : {fd, cyclon, ring, router, abd, bootstrap_client}) {
     connect(c.required<timing::Timer>(), timer_);
   }
 

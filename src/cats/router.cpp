@@ -56,10 +56,7 @@ OneHopRouter::OneHopRouter() {
       }
       return;
     }
-    if (!forward(self_, req.id, req.key, static_cast<std::uint32_t>(req.group_size), kMaxHops)) {
-      // Nowhere to route: answer with an empty group; the caller retries.
-      trigger(make_event<LookupResponse>(req.id, req.key, std::vector<NodeRef>{}), router_);
-    }
+    protocol::spawn(relay_lookup(req.id, req.key, req.group_size));
   });
 
   subscribe<RouteLookupMsg>(network_, [this](const RouteLookupMsg& msg) {
@@ -74,11 +71,6 @@ OneHopRouter::OneHopRouter() {
     // TTL exhausted: drop; the origin's operation timeout handles it.
   });
 
-  subscribe<LookupResultMsg>(network_, [this](const LookupResultMsg& msg) {
-    for (const auto& n : msg.group) learn(n);
-    trigger(make_event<LookupResponse>(msg.op, msg.key, msg.group, msg.view_version), router_);
-  });
-
   subscribe<StatusRequest>(status_, [this](const StatusRequest& req) {
     std::map<std::string, std::string> fields;
     fields["table_size"] = std::to_string(table_.size());
@@ -87,6 +79,24 @@ OneHopRouter::OneHopRouter() {
     fields["views_cached"] = std::to_string(views_.size());
     trigger(make_event<StatusResponse>(req.id, "OneHopRouter", std::move(fields)), status_);
   });
+}
+
+protocol::Proto<void> OneHopRouter::relay_lookup(OpId op, RingKey key, std::size_t group_size) {
+  // Open the result stream BEFORE forwarding: a same-process responsible
+  // node can answer inline.
+  auto results = co_await network_.open<LookupResultMsg>(
+      [op](const LookupResultMsg& m) { return m.op == op; });
+  if (!forward(self_, op, key, static_cast<std::uint32_t>(group_size), kMaxHops)) {
+    // Nowhere to route: answer with an empty group; the caller retries.
+    trigger(make_event<LookupResponse>(op, key, std::vector<NodeRef>{}), router_);
+    co_return;
+  }
+  auto got = co_await protocol::when_any(results.next(),
+                                         protocol::sleep(timer_, params_.op_timeout_ms));
+  if (got.index() == 1) co_return;  // no answer: the origin's deadline retries
+  const LookupResultMsg& msg = *std::get<0>(got);
+  for (const auto& n : msg.group) learn(n);
+  trigger(make_event<LookupResponse>(msg.op, msg.key, msg.group, msg.view_version), router_);
 }
 
 void OneHopRouter::learn(const NodeRef& n) {
@@ -127,6 +137,22 @@ const GroupView* OneHopRouter::covering_view(RingKey key) const {
 
 std::vector<std::string> OneHopRouter::invariant_violations() const {
   std::vector<std::string> out;
+  // Routing-table sanity: every entry must be keyed by its node's own ring
+  // key, carry a routable address, and never describe this node itself
+  // (learn() filters all three; an entry violating them would forward
+  // lookups to the wrong place or loop them back here forever).
+  for (const auto& [k, e] : table_) {
+    if (e.node.key != k) {
+      out.push_back("router: table entry keyed " + std::to_string(k) +
+                    " holds node with key " + std::to_string(e.node.key));
+    }
+    if (!e.node.addr.valid()) {
+      out.push_back("router: table entry " + std::to_string(k) + " has an invalid address");
+    }
+    if (e.node.addr == self_.addr) {
+      out.push_back("router: table contains this node itself (key " + std::to_string(k) + ")");
+    }
+  }
   // Cached installed views must be mutually disjoint: overlapping cached
   // views would let two lookups for the same key resolve to different
   // replica groups (split-brain at the routing layer).

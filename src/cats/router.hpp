@@ -21,7 +21,9 @@
 #include "cats/ports.hpp"
 #include "kompics/component.hpp"
 #include "kompics/kompics.hpp"
+#include "kompics/protocol.hpp"
 #include "net/network_port.hpp"
+#include "timing/timer_port.hpp"
 
 namespace kompics::cats {
 
@@ -49,6 +51,11 @@ class OneHopRouter : public ComponentDefinition {
   std::vector<std::string> invariant_violations() const;
 
  private:
+  /// Forwards a lookup we are not responsible for, awaits the remote answer
+  /// (correlated by op id), learns the group and relays it to the local
+  /// client port. The frame garbage-collects itself after one op-timeout
+  /// period: the origin's operation deadline owns the retry policy.
+  protocol::Proto<void> relay_lookup(OpId op, RingKey key, std::size_t group_size);
   void learn(const NodeRef& n);
   void handle_lookup_at_responsible(const NodeRef& origin, OpId op, RingKey key,
                                     std::size_t group_size);
@@ -65,6 +72,7 @@ class OneHopRouter : public ComponentDefinition {
   Positive<NodeSampling> sampling_ = require<NodeSampling>();
   Positive<Ring> ring_ = require<Ring>();
   Positive<QuorumViews> quorum_views_ = require<QuorumViews>();
+  Positive<timing::Timer> timer_ = require<timing::Timer>();
 
   NodeRef self_;
   CatsParams params_;

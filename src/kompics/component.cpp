@@ -21,6 +21,13 @@ ComponentCore::ComponentCore(Runtime* runtime, ComponentCore* parent, std::uint6
 }
 
 ComponentCore::~ComponentCore() {
+  // Coroutine protocol frames unwind first, while the FULL derived
+  // definition still exists: frame locals may reference derived members,
+  // which die before the base class's protocol_host_ would destroy the
+  // frames on its own.
+  if (definition_ != nullptr && definition_->protocol_host_ != nullptr) {
+    definition_->protocol_host_->destroy_frames();
+  }
   // Destroy the definition FIRST: definitions may own threads (TcpNetwork's
   // I/O loop, HttpServer's acceptor, ThreadTimer) that trigger into this
   // core's ports until their destructor joins them. Members are destroyed
@@ -335,12 +342,26 @@ ComponentCore::WorkItem* ComponentCore::next_item() {
   return nullptr;
 }
 
+namespace {
+thread_local ComponentCore* tl_running_core = nullptr;
+}  // namespace
+
+ComponentCore* ComponentCore::running_on_this_thread() { return tl_running_core; }
+
 void ComponentCore::execute() {
   {
     // Guard must end before complete_one(): the re-schedule inside it can
     // legitimately hand this core to another worker immediately.
     KOMPICS_ASSERT_SINGLE_CONSUMER(executing_);
-    if (WorkItem* item = next_item()) run_item(item);
+    if (WorkItem* item = next_item()) {
+      // Exception-safe restore: escalate_fault may rethrow out of run_item.
+      struct Scope {
+        ComponentCore* prev;
+        ~Scope() { tl_running_core = prev; }
+      } scope{tl_running_core};
+      tl_running_core = this;
+      run_item(item);
+    }
   }
   complete_one();
 }
@@ -629,6 +650,13 @@ void ComponentCore::destroy_tree() {
   // definition in the subtree before children_.clear() can free a single
   // core, so no owned thread can trigger into a dying component.
   if (definition_ != nullptr) definition_->halt();
+  // Cancel in-flight coroutine protocol frames while the subtree's channels
+  // are still attached: cancelling an awaited request must also cancel its
+  // armed timeout timer, and the CancelTimeout can only reach the Timer
+  // provider before detach_all below severs the channels.
+  if (definition_ != nullptr && definition_->protocol_host_ != nullptr) {
+    definition_->protocol_host_->cancel_all();
+  }
   std::vector<ComponentCorePtr> kids = children();
   for (const auto& child : kids) child->destroy_tree();
   {

@@ -45,6 +45,33 @@ class ComponentDefinition;
 class ComponentCore;
 using ComponentCorePtr = std::shared_ptr<ComponentCore>;
 
+namespace protocol {
+class Runner;
+}  // namespace protocol
+
+/// Interface between a component and its coroutine-protocol runtime
+/// (protocol.hpp). A definition that runs Proto<> frames owns exactly one
+/// host (created lazily by protocol::Runner::of); destroy_tree() calls
+/// cancel_all() right after halt(), while every channel of the subtree is
+/// still attached — that is the window in which armed timeout timers can
+/// still be cancelled through the Timer port.
+class ProtocolHost {
+ public:
+  virtual ~ProtocolHost() = default;
+  /// Cancels every in-flight protocol frame: no frame resumes after this
+  /// returns, pending one-shot subscriptions are deactivated, and armed
+  /// timers are cancelled through their Timer port. Thread-safe; idempotent.
+  virtual void cancel_all() noexcept = 0;
+  /// Destroys every (cancelled) frame. ~ComponentCore calls this BEFORE
+  /// resetting the definition: frame locals (RAII guards, streams) may
+  /// reference members of the derived definition, which are destroyed
+  /// before the base class's protocol_host_ — so unwinding must happen
+  /// while the full derived object is still alive. Idempotent.
+  virtual void destroy_frames() noexcept = 0;
+  /// Frames spawned and not yet completed (suspended frames included).
+  virtual std::size_t live_frame_count() const = 0;
+};
+
 namespace detail {
 class DispatchBatch;
 }  // namespace detail
@@ -188,6 +215,16 @@ class ComponentCore : public std::enable_shared_from_this<ComponentCore> {
   void complete_one();           // finish a unit; re-schedule if more remain
   WorkItem* next_item();         // pop respecting init/passive gating
   void run_item(WorkItem* item);
+
+ public:
+  /// The core whose work item is executing on the current thread (nullptr
+  /// outside any dispatch). Distinguishes "already inside this component's
+  /// single-consumer context" from a foreign handler or external thread —
+  /// the protocol layer uses it to decide whether a freshly spawned frame
+  /// may run inline or must be enqueued like any other work item.
+  static ComponentCore* running_on_this_thread();
+
+ private:
   const std::vector<SubscriptionRef>& matching_subs_cached(PortCore* half,
                                                            const Event& e);
   void builtin_lifecycle_event(const Event& e);
@@ -348,6 +385,10 @@ class ComponentDefinition {
   /// definitions that are dropped without going through destroy_tree().
   virtual void halt() {}
 
+  /// The coroutine-protocol host attached to this definition, or nullptr
+  /// while no Proto<> frame was ever spawned on it (protocol.hpp).
+  ProtocolHost* protocol_host() const { return protocol_host_.get(); }
+
  protected:
   ComponentDefinition();
 
@@ -501,9 +542,11 @@ class ComponentDefinition {
   }
 
   friend class ComponentCore;
+  friend class protocol::Runner;  // protocol.hpp: hidden resume port + subscribe
   ComponentCore* core_;
   bool in_handler_ = false;   // set by ComponentCore while running handlers
   EventPtr current_event_;    // set by ComponentCore while running handlers
+  std::unique_ptr<ProtocolHost> protocol_host_;  // lazily attached (protocol.hpp)
 };
 
 // ---- Component handle templates -----------------------------------------

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "kompics/component.hpp"
 #include "kompics/kompics.hpp"
@@ -56,7 +57,26 @@ class SimNetworkHub {
       ++gid;
     }
   }
-  void heal() { group_.clear(); }
+  /// Asymmetric cut: every message from a host in `from` to a host in `to`
+  /// is dropped; the reverse direction still flows. Models one-directional
+  /// link failures (misconfigured firewalls, asymmetric routes) — the
+  /// classic trap for failure detectors and quorum protocols, where A hears
+  /// B but B never hears A. Composes with partition(): a message must pass
+  /// both the group check and every directional rule. Cumulative until
+  /// heal().
+  void partition_oneway(const std::vector<std::uint32_t>& from,
+                        const std::vector<std::uint32_t>& to) {
+    for (std::uint32_t f : from) {
+      for (std::uint32_t t : to) {
+        if (f != t) oneway_blocked_.insert((static_cast<std::uint64_t>(f) << 32) | t);
+      }
+    }
+  }
+
+  void heal() {
+    group_.clear();
+    oneway_blocked_.clear();
+  }
 
   void send(const net::MessagePtr& m);
 
@@ -71,7 +91,14 @@ class SimNetworkHub {
   const Stats& stats() const { return stats_; }
 
  private:
+  /// Directional: reachable(a, b) asks whether a message FROM a TO b gets
+  /// through. Symmetric partitions check group membership; one-way rules
+  /// are checked in the send direction only.
   bool reachable(const net::Address& a, const net::Address& b) const {
+    if (!oneway_blocked_.empty() &&
+        oneway_blocked_.count((static_cast<std::uint64_t>(a.host) << 32) | b.host) != 0) {
+      return false;
+    }
     if (group_.empty()) return true;
     auto ga = group_.find(a.host);
     auto gb = group_.find(b.host);
@@ -85,6 +112,7 @@ class SimNetworkHub {
   LinkModel model_;
   std::unordered_map<net::Address, NetworkEmulator*> nodes_;
   std::unordered_map<std::uint32_t, int> group_;
+  std::unordered_set<std::uint64_t> oneway_blocked_;  // (from << 32 | to) host pairs
   std::unordered_map<std::uint64_t, TimeMs> last_delivery_;  // (src,dst) key -> time, for fifo
   Stats stats_;
 };

@@ -71,11 +71,26 @@ RunResult run_schedule(const FaultSchedule& schedule, const RunConfig& config) {
       root.definition_as<CampaignRoot>().simulator.definition_as<cats::CatsSimulator>();
 
   std::uint64_t budget_left = config.step_budget;
+
+  // Per-component invariants are polled at every event boundary, not just at
+  // the horizon: the op-table/frame-leak class (an ABD op parked in a
+  // protocol frame must still count as pending, and vice versa) is only
+  // observable while operations are actually in flight mid-protocol.
+  std::vector<std::string> mid_run;
+  auto poll_invariants = [&](TimeMs at) {
+    if (mid_run.size() >= 5) return;
+    for (const auto& v : cats.invariant_violations()) {
+      mid_run.push_back("invariant violated at t=" + std::to_string(at) + "ms: " + v);
+      if (mid_run.size() >= 5) break;
+    }
+  };
+
   for (const ScheduleEvent& e : schedule.events) {
     if (!run_to(sim, e.at, budget_left, result.steps, &result.failure)) {
       result.ok = false;
       return result;
     }
+    poll_invariants(e.at);
     switch (e.kind) {
       case ScheduleEvent::Kind::kJoin:
         if (!cats.is_alive(e.node)) cats.join(e.node);
@@ -93,6 +108,9 @@ RunResult run_schedule(const FaultSchedule& schedule, const RunConfig& config) {
         break;
       case ScheduleEvent::Kind::kPartition:
         hub->partition(e.groups);
+        break;
+      case ScheduleEvent::Kind::kPartitionOneWay:
+        if (e.groups.size() == 2) hub->partition_oneway(e.groups[0], e.groups[1]);
         break;
       case ScheduleEvent::Kind::kHeal:
         hub->heal();
@@ -128,6 +146,8 @@ RunResult run_schedule(const FaultSchedule& schedule, const RunConfig& config) {
   const auto lin = cats::check_history(history);
   if (!lin.linearizable) fail << "non-linearizable history: " << lin.explanation << "\n";
   if (lin.budget_exceeded) fail << "linearizability checker budget exceeded\n";
+
+  for (const std::string& v : mid_run) fail << v << "\n";
 
   const auto violations = cats.invariant_violations();
   for (std::size_t i = 0; i < violations.size() && i < 5; ++i) {
@@ -225,22 +245,106 @@ void reduce_nodes(FaultSchedule& current, ShrinkState& st) {
     for (ScheduleEvent e : current.events) {
       const bool addressed =
           e.node == node && e.kind != ScheduleEvent::Kind::kPartition &&
+          e.kind != ScheduleEvent::Kind::kPartitionOneWay &&
           e.kind != ScheduleEvent::Kind::kHeal;
       if (addressed) continue;
-      if (e.kind == ScheduleEvent::Kind::kPartition) {
+      if (e.kind == ScheduleEvent::Kind::kPartition ||
+          e.kind == ScheduleEvent::Kind::kPartitionOneWay) {
         for (auto& g : e.groups) {
           g.erase(std::remove(g.begin(), g.end(), host_of(node)), g.end());
         }
         e.groups.erase(std::remove_if(e.groups.begin(), e.groups.end(),
                                       [](const auto& g) { return g.empty(); }),
                        e.groups.end());
-        if (e.groups.size() < 2) continue;  // no longer a cut
+        // A symmetric cut needs two sides left; a one-way cut needs both its
+        // from and to sets intact (losing either makes it a no-op).
+        if (e.groups.size() < 2) continue;
       }
       cand.push_back(std::move(e));
     }
     if (cand.empty()) continue;
     FaultSchedule c = with_events(current, std::move(cand), st.options.tail_ms);
     if (st.still_fails(c)) current = std::move(c);
+  }
+}
+
+/// Removal-only passes cannot drop a join while workload still addresses
+/// the joined node. Merging re-addresses one node's put/get/skew events to
+/// another member and THEN drops the victim's join/fail and its host from
+/// partition groups — often cutting a join plus nothing else the failure
+/// needed (the workload rides on a survivor).
+void merge_nodes(FaultSchedule& current, ShrinkState& st) {
+  std::vector<std::uint64_t> nodes;
+  for (const ScheduleEvent& e : current.events) {
+    if (e.kind == ScheduleEvent::Kind::kJoin &&
+        std::find(nodes.begin(), nodes.end(), e.node) == nodes.end()) {
+      nodes.push_back(e.node);
+    }
+  }
+  for (std::uint64_t victim : nodes) {
+    for (std::uint64_t into : nodes) {
+      if (victim == into || !st.budget_left()) continue;
+      std::vector<ScheduleEvent> cand;
+      bool changed = false;
+      for (ScheduleEvent e : current.events) {
+        switch (e.kind) {
+          case ScheduleEvent::Kind::kJoin:
+          case ScheduleEvent::Kind::kFail:
+            if (e.node == victim) { changed = true; continue; }
+            break;
+          case ScheduleEvent::Kind::kPut:
+          case ScheduleEvent::Kind::kGet:
+          case ScheduleEvent::Kind::kSkew:
+            if (e.node == victim) { e.node = into; changed = true; }
+            break;
+          case ScheduleEvent::Kind::kPartition:
+          case ScheduleEvent::Kind::kPartitionOneWay:
+            for (auto& g : e.groups) {
+              g.erase(std::remove(g.begin(), g.end(), host_of(victim)), g.end());
+            }
+            e.groups.erase(std::remove_if(e.groups.begin(), e.groups.end(),
+                                          [](const auto& g) { return g.empty(); }),
+                           e.groups.end());
+            if (e.groups.size() < 2) continue;  // no longer a cut
+            break;
+          case ScheduleEvent::Kind::kHeal:
+            break;
+        }
+        cand.push_back(std::move(e));
+      }
+      if (!changed || cand.empty()) continue;
+      FaultSchedule c = with_events(current, std::move(cand), st.options.tail_ms);
+      if (st.still_fails(c)) {
+        current = std::move(c);
+        break;  // victim is gone; move on to the next one
+      }
+    }
+  }
+}
+
+/// Past 1-minimality ddmin stalls when two events are individually
+/// load-bearing but jointly removable — e.g. a put and the get that
+/// observes it, or a cut and its heal. Sweep event pairs until no pair
+/// can be cut (bounded: only worth it once the schedule is small).
+void reduce_pairs(FaultSchedule& current, ShrinkState& st) {
+  bool reduced = true;
+  while (reduced && current.events.size() >= 3 && current.events.size() <= 24 &&
+         st.budget_left()) {
+    reduced = false;
+    for (std::size_t i = 0; i < current.events.size() && !reduced; ++i) {
+      for (std::size_t j = i + 1; j < current.events.size() && st.budget_left(); ++j) {
+        std::vector<ScheduleEvent> cand;
+        for (std::size_t k = 0; k < current.events.size(); ++k) {
+          if (k != i && k != j) cand.push_back(current.events[k]);
+        }
+        FaultSchedule c = with_events(current, std::move(cand), st.options.tail_ms);
+        if (st.still_fails(c)) {
+          current = std::move(c);
+          reduced = true;
+          break;
+        }
+      }
+    }
   }
 }
 
@@ -259,6 +363,9 @@ ShrinkResult shrink_schedule(const FaultSchedule& failing, const RunConfig& conf
   ddmin_events(current, st);
   reduce_nodes(current, st);
   ddmin_events(current, st);  // node eviction usually unlocks further cuts
+  reduce_pairs(current, st);
+  merge_nodes(current, st);
+  ddmin_events(current, st);  // a cut pair or merge can re-expose single cuts
 
   result.minimal = std::move(current);
   result.minimal_length = result.minimal.length();

@@ -80,7 +80,11 @@ FaultSchedule generate_schedule(std::uint64_t seed, const GeneratorConfig& confi
 
   /// A partition composition over the current members, chosen from the same
   /// four families as the PR 6 sweep (isolated node; 2|majority with the
-  /// bootstrap server on either side; adjacent split).
+  /// bootstrap server on either side; adjacent split). About a third of the
+  /// cuts are one-directional: the minority side still HEARS the majority
+  /// but its own messages are dropped (or the reverse) — the failure mode
+  /// where one side's acks silently vanish while failure detectors on the
+  /// other side stay happy.
   auto emit_partition = [&](TimeMs at) {
     ScheduleEvent e;
     e.kind = ScheduleEvent::Kind::kPartition;
@@ -98,6 +102,10 @@ FaultSchedule generate_schedule(std::uint64_t seed, const GeneratorConfig& confi
       // Bootstrap server sides with the minority.
       a.push_back(1);
       b.erase(b.begin());
+    }
+    if (config.enable_oneway && rng.next_below(3) == 0) {
+      e.kind = ScheduleEvent::Kind::kPartitionOneWay;
+      if (rng.next_below(2) == 0) std::swap(a, b);  // which direction is mute
     }
     e.groups = {std::move(a), std::move(b)};
     s.events.push_back(e);
@@ -191,10 +199,12 @@ std::string to_text(const FaultSchedule& s) {
       case ScheduleEvent::Kind::kHeal:
         os << "heal " << e.at;
         break;
-      case ScheduleEvent::Kind::kPartition: {
-        os << "partition " << e.at << " ";
+      case ScheduleEvent::Kind::kPartition:
+      case ScheduleEvent::Kind::kPartitionOneWay: {
+        const bool oneway = e.kind == ScheduleEvent::Kind::kPartitionOneWay;
+        os << (oneway ? "oneway " : "partition ") << e.at << " ";
         for (std::size_t g = 0; g < e.groups.size(); ++g) {
-          if (g != 0) os << "|";
+          if (g != 0) os << (oneway ? ">" : "|");
           for (std::size_t i = 0; i < e.groups[g].size(); ++i) {
             if (i != 0) os << ",";
             os << e.groups[g][i];
@@ -263,28 +273,33 @@ bool parse_schedule(std::istream& in, FaultSchedule* out, std::string* error) {
         if (!(ls >> e.node >> e.skew_permille)) return fail("bad skew event" + where);
       } else if (kind == "heal") {
         e.kind = ScheduleEvent::Kind::kHeal;
-      } else if (kind == "partition") {
-        e.kind = ScheduleEvent::Kind::kPartition;
+      } else if (kind == "partition" || kind == "oneway") {
+        const bool oneway = kind == "oneway";
+        e.kind = oneway ? ScheduleEvent::Kind::kPartitionOneWay : ScheduleEvent::Kind::kPartition;
+        const char sep = oneway ? '>' : '|';
         std::string spec;
-        if (!(ls >> spec)) return fail("bad partition event" + where);
+        if (!(ls >> spec)) return fail("bad " + kind + " event" + where);
         std::vector<std::uint32_t> group;
         std::string num;
-        for (char c : spec + "|") {
-          if (c == ',' || c == '|') {
+        for (char c : spec + std::string(1, sep)) {
+          if (c == ',' || c == sep) {
             if (!num.empty()) {
               group.push_back(static_cast<std::uint32_t>(std::stoul(num)));
               num.clear();
             }
-            if (c == '|') {
-              if (group.empty()) return fail("empty partition group" + where);
+            if (c == sep) {
+              if (group.empty()) return fail("empty " + kind + " group" + where);
               e.groups.push_back(std::move(group));
               group.clear();
             }
           } else if (c >= '0' && c <= '9') {
             num += c;
           } else {
-            return fail("bad partition spec" + where);
+            return fail("bad " + kind + " spec" + where);
           }
+        }
+        if (oneway && e.groups.size() != 2) {
+          return fail("oneway event needs exactly from>to groups" + where);
         }
       } else {
         return fail("unknown event kind '" + kind + "'" + where);

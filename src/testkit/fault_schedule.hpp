@@ -6,7 +6,8 @@
 // simulated run: the seed (which fixes every latency/loss/protocol RNG
 // draw), the link model, and a time-ordered list of events — cluster
 // membership (join/fail), workload operations (put/get), and faults
-// (partial partitions, heals, per-node timer skew). Schedules are
+// (partial partitions — symmetric or one-directional — heals, per-node
+// timer skew). Schedules are
 // *generated* deterministically from a seed by generate_schedule(), so a
 // sweep needs to ship only seeds; when a seed fails, the expanded schedule
 // is what the shrinker mutates and what gets serialized as the replayable
@@ -31,7 +32,8 @@ struct ScheduleEvent {
     kPut,        ///< put(node, key, {value})
     kGet,        ///< get(node, key)
     kPartition,  ///< split hosts into the given groups
-    kHeal,       ///< remove all partitions
+    kPartitionOneWay,  ///< block groups[0] -> groups[1] traffic (reverse flows)
+    kHeal,       ///< remove all partitions (symmetric and one-way)
     kSkew,       ///< scale the node's timer rate (permille, 1000 = nominal)
   };
 
@@ -41,7 +43,9 @@ struct ScheduleEvent {
   cats::RingKey key = 0;                             // put/get
   std::uint8_t value = 0;                            // put
   std::uint32_t skew_permille = 1000;                // skew
-  std::vector<std::vector<std::uint32_t>> groups;    // partition (host ids)
+  // partition: the symmetric groups; oneway: exactly two entries, traffic
+  // from hosts in groups[0] toward hosts in groups[1] is dropped.
+  std::vector<std::vector<std::uint32_t>> groups;
 };
 
 /// A complete replayable run description.
@@ -69,6 +73,7 @@ struct GeneratorConfig {
   std::size_t max_ops_per_volley = 7;
   bool enable_churn = true;  ///< post-heal join/crash on ~2/3 of seeds
   bool enable_skew = true;   ///< per-node timer skew on ~1/3 of seeds
+  bool enable_oneway = true;  ///< ~1/3 of cuts are one-directional
   DurationMs join_stagger_ms = 300;
   DurationMs warmup_ms = 8000;       ///< after last join, before first op
   DurationMs mid_cut_settle_ms = 6000;

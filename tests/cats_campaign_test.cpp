@@ -37,7 +37,8 @@ TEST(CatsCampaign, GeneratorProducesRichSchedules) {
     for (const ScheduleEvent& e : s.events) {
       joins += e.kind == ScheduleEvent::Kind::kJoin;
       ops += e.kind == ScheduleEvent::Kind::kPut || e.kind == ScheduleEvent::Kind::kGet;
-      partitions += e.kind == ScheduleEvent::Kind::kPartition;
+      partitions += e.kind == ScheduleEvent::Kind::kPartition ||
+                    e.kind == ScheduleEvent::Kind::kPartitionOneWay;
       heals += e.kind == ScheduleEvent::Kind::kHeal;
     }
     EXPECT_GE(joins, 4u) << "seed " << seed;
@@ -46,6 +47,59 @@ TEST(CatsCampaign, GeneratorProducesRichSchedules) {
     EXPECT_EQ(partitions, heals) << "every cut heals (seed " << seed << ")";
     EXPECT_GT(s.horizon, s.events.back().at) << "horizon leaves settle time";
   }
+}
+
+TEST(CatsCampaign, GeneratorEmitsOneWayCutsAcrossTheSeedSpace) {
+  // ~1/3 of cuts are asymmetric; over 30 seeds both kinds must appear, and
+  // every one-way cut must be a well-formed from>to pair. With the knob off,
+  // none appear (the PR 6-compatible symmetric-only mode).
+  std::size_t oneway = 0, symmetric = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    for (const ScheduleEvent& e : generate_schedule(seed).events) {
+      if (e.kind == ScheduleEvent::Kind::kPartitionOneWay) {
+        ++oneway;
+        ASSERT_EQ(e.groups.size(), 2u) << "seed " << seed;
+        EXPECT_FALSE(e.groups[0].empty());
+        EXPECT_FALSE(e.groups[1].empty());
+      }
+      symmetric += e.kind == ScheduleEvent::Kind::kPartition;
+    }
+  }
+  EXPECT_GE(oneway, 3u);
+  EXPECT_GE(symmetric, 10u) << "symmetric cuts must remain the majority";
+
+  GeneratorConfig no_oneway;
+  no_oneway.enable_oneway = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const ScheduleEvent& e : generate_schedule(seed, no_oneway).events) {
+      EXPECT_NE(e.kind, ScheduleEvent::Kind::kPartitionOneWay) << "seed " << seed;
+    }
+  }
+}
+
+TEST(CatsCampaign, OneWayEventsParseAndRoundTrip) {
+  const std::string text =
+      "catscampaign v1\n"
+      "seed 9\n"
+      "link 1 5 0 1 0\n"
+      "horizon 5000\n"
+      "bug 0\n"
+      "event oneway 100 3,4>1,2\n"
+      "end\n";
+  FaultSchedule s;
+  std::string error;
+  ASSERT_TRUE(parse_schedule_text(text, &s, &error)) << error;
+  ASSERT_EQ(s.events.size(), 1u);
+  EXPECT_EQ(s.events[0].kind, ScheduleEvent::Kind::kPartitionOneWay);
+  ASSERT_EQ(s.events[0].groups.size(), 2u);
+  EXPECT_EQ(s.events[0].groups[0], (std::vector<std::uint32_t>{3, 4}));
+  EXPECT_EQ(s.events[0].groups[1], (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_NE(to_text(s).find("event oneway 100 3,4>1,2"), std::string::npos);
+
+  // A one-way spec without both sides is malformed.
+  EXPECT_FALSE(parse_schedule_text(
+      "catscampaign v1\nevent oneway 100 3,4\nend\n", &s, &error));
+  EXPECT_NE(error.find("oneway"), std::string::npos);
 }
 
 TEST(CatsCampaign, SchedulesRoundTripThroughText) {

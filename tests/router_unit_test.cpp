@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "cats/router.hpp"
+#include "sim/sim_timer.hpp"
 #include "sim/simulation.hpp"
 
 namespace kompics::cats::test {
@@ -66,26 +67,29 @@ NodeRef node(std::uint64_t id) { return NodeRef{id << 48, Address::node(static_c
 
 class World : public ComponentDefinition {
  public:
-  World() {
+  explicit World(sim::SimulatorCore* core) {
     self = node(50);
     router = create<OneHopRouter>();
     router.control()->trigger(make_event<OneHopRouter::Init>(self, CatsParams{}));
     harness = create<Harness>();
+    timer = create<sim::SimTimer>();
+    timer.control()->trigger(make_event<sim::SimTimer::Init>(core));
     connect(router.provided<Router>(), harness.required<Router>());
     connect(router.required<Ring>(), harness.provided<Ring>());
     connect(router.required<NodeSampling>(), harness.provided<NodeSampling>());
     connect(router.required<net::Network>(), harness.provided<net::Network>());
     connect(router.required<QuorumViews>(), harness.provided<QuorumViews>());
+    connect(router.required<timing::Timer>(), timer.provided<timing::Timer>());
   }
   Harness& h() { return harness.definition_as<Harness>(); }
   OneHopRouter& r() { return router.definition_as<OneHopRouter>(); }
   NodeRef self;
-  Component router, harness;
+  Component router, harness, timer;
 };
 
 struct RouterFixture : ::testing::Test {
   RouterFixture() : sim(Config{}, 3) {
-    main = sim.bootstrap<World>();
+    main = sim.bootstrap<World>(&sim.core());
     sim.run_until(1);
     world = &main.definition_as<World>();
   }
@@ -244,6 +248,11 @@ TEST_F(RouterFixture, TtlExhaustionDropsTheLookup) {
 TEST_F(RouterFixture, LookupResultFeedsTableAndAnswersPort) {
   world->h().view(world->self, true, node(40), {node(60)});
   step();
+  // Start a relayed lookup: the relay frame parks awaiting the correlated
+  // LookupResultMsg (op 99), having forwarded along the ring.
+  world->h().lookup(99, (25ull << 48), 3);
+  step();
+  ASSERT_EQ(world->h().forwarded.size(), 1u);
   const std::size_t before = world->r().table_size();
   world->h().inject_result(node(30).addr, world->self.addr, 99, (25ull << 48),
                            {node(30), node(35)});
@@ -251,6 +260,20 @@ TEST_F(RouterFixture, LookupResultFeedsTableAndAnswersPort) {
   ASSERT_EQ(world->h().responses.size(), 1u);
   EXPECT_EQ(world->h().responses[0].id, 99u);
   EXPECT_GT(world->r().table_size(), before) << "group members are learned";
+}
+
+TEST_F(RouterFixture, UnsolicitedLookupResultIsIgnored) {
+  // A result with no matching in-flight relay (e.g. a duplicate delivered
+  // after the relay frame timed out and unwound) must not reach the client
+  // port or poison the table.
+  world->h().view(world->self, true, node(40), {node(60)});
+  step();
+  const std::size_t before = world->r().table_size();
+  world->h().inject_result(node(30).addr, world->self.addr, 123, (25ull << 48),
+                           {node(30), node(35)});
+  step();
+  EXPECT_TRUE(world->h().responses.empty());
+  EXPECT_EQ(world->r().table_size(), before);
 }
 
 }  // namespace

@@ -146,6 +146,9 @@ class SelfSender : public ComponentDefinition {
   void send_self(Address self, int n) {
     trigger(make_event<Echo>(self, self, n), network_);
   }
+  void send_to(Address self, Address dest, int n) {
+    trigger(make_event<Echo>(self, dest, n), network_);
+  }
   Positive<Network> network_ = require<Network>();
   std::vector<int> got;
 };
@@ -172,6 +175,48 @@ TEST(EmulatorEdge, MessageToSelfIsDeliveredThroughTheModel) {
   sim.run_until(10);
   EXPECT_EQ(main.definition_as<W>().app.definition_as<SelfSender>().got,
             (std::vector<int>{5}));
+}
+
+TEST(EmulatorEdge, OneWayPartitionBlocksOnlyTheNamedDirection) {
+  Simulation sim;
+  auto hub = std::make_shared<SimNetworkHub>(&sim.core(), 1, LinkModel{1, 1, 0.0, false});
+  class W : public ComponentDefinition {
+   public:
+    explicit W(SimNetworkHubPtr hub) {
+      for (int i = 0; i < 2; ++i) {
+        net[i] = create<NetworkEmulator>();
+        net[i].control()->trigger(
+            make_event<NetworkEmulator::Init>(Address::node(1 + i), hub));
+        app[i] = create<SelfSender>();
+        connect(net[i].provided<Network>(), app[i].required<Network>());
+      }
+    }
+    Component net[2], app[2];
+  };
+  auto main = sim.bootstrap<W>(hub);
+  sim.run_until(1);
+  auto& w = main.definition_as<W>();
+  auto send = [&](int from, int to, int n) {
+    w.app[from].definition_as<SelfSender>().send_to(Address::node(1 + from),
+                                                    Address::node(1 + to), n);
+  };
+
+  // Mute host 1 toward host 2; the reverse direction must still deliver.
+  hub->partition_oneway({1}, {2});
+  send(0, 1, 10);
+  send(1, 0, 20);
+  sim.run_until(10);
+  EXPECT_TRUE(w.app[1].definition_as<SelfSender>().got.empty())
+      << "blocked direction must drop";
+  EXPECT_EQ(w.app[0].definition_as<SelfSender>().got, (std::vector<int>{20}))
+      << "reverse direction must flow";
+  EXPECT_EQ(hub->stats().partitioned, 1u);
+
+  // heal() clears directional rules too.
+  hub->heal();
+  send(0, 1, 11);
+  sim.run_until(20);
+  EXPECT_EQ(w.app[1].definition_as<SelfSender>().got, (std::vector<int>{11}));
 }
 
 // ---- real-time scenario mode (Fig. 12 right) ---------------------------------------

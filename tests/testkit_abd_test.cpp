@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cats/abd.hpp"
+#include "cats/bootstrap.hpp"
 #include "testkit/event_stream.hpp"
 
 namespace kompics::cats::test {
@@ -166,6 +167,58 @@ TEST_F(AbdDslTest, DuplicatedAcksFromOneReplicaDoNotCompleteQuorum) {
       .expect<PutResponse>(putget, [](const PutResponse& r) { return r.ok && r.id == 9; });
 
   const Result result = ctx->check();
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+// ---- a coroutine protocol end-to-end under the DSL -----------------------
+//
+// The BootstrapClient handshake is a pure protocol.hpp coroutine (open the
+// response stream, retransmit every keep-alive period, relay the answer).
+// This drives it through the event-stream DSL: the retransmission loop, the
+// relay of the first response, idempotence of a second handshake request,
+// and the periodic keep-alive frame started by BootstrapDone — each a
+// co_await suspension resumed by an injected event or the virtual clock.
+
+TEST(BootstrapDsl, CoroutineHandshakeRetransmitsRelaysAndHeartbeats) {
+  CatsParams params;
+  params.keepalive_period_ms = 400;
+  const NodeRef self{100, Address::node(1)};
+  const Address server = Address::node(9);
+  TestContext ctx(11, [&](TestProbe& p, sim::SimulatorCore&) {
+    Component c = p.make<BootstrapClient>();
+    c.control()->trigger(make_event<BootstrapClient::Init>(self, server, params));
+    return c;
+  });
+  const PortHandle net = ctx.monitor_required<net::Network>();
+  const PortHandle bootstrap = ctx.monitor_provided<Bootstrap>();
+  ctx.attach_sim_timer();
+
+  const std::vector<NodeRef> peers{NodeRef{10, Address::node(10)},
+                                   NodeRef{20, Address::node(20)}};
+  ctx.trigger(bootstrap, make_event<BootstrapRequest>(self))
+      .expect<BootstrapRequestMsg>(net,
+                                   [&](const BootstrapRequestMsg& m) {
+                                     return m.destination() == server && m.self.key == self.key;
+                                   })
+      // The server stays silent for one period: the parked frame's timer
+      // fires and the loop retransmits.
+      .expect<BootstrapRequestMsg>(net)
+      // A second BootstrapRequest while the handshake frame is in flight
+      // must NOT spawn a second retransmission loop.
+      .trigger(bootstrap, make_event<BootstrapRequest>(self))
+      .trigger(net, [&] { return make_event<BootstrapResponseMsg>(server, self.addr, peers); })
+      .expect<BootstrapResponse>(bootstrap,
+                                 [&](const BootstrapResponse& r) { return r.peers.size() == 2; })
+      // The frame finished: no stray retransmission (and no duplicate
+      // response from the second trigger) inside two full periods.
+      .expect_silence(2 * params.keepalive_period_ms)
+      // BootstrapDone starts the keep-alive heartbeat coroutine: one beat
+      // immediately, then one per period.
+      .trigger(bootstrap, make_event<BootstrapDone>())
+      .expect<KeepAliveMsg>(net, [&](const KeepAliveMsg& m) { return m.destination() == server; })
+      .expect<KeepAliveMsg>(net)
+      .expect<KeepAliveMsg>(net);
+  const Result result = ctx.check();
   EXPECT_TRUE(result.ok) << result.message;
 }
 
